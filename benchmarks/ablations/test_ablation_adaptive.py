@@ -1,0 +1,75 @@
+"""Ablation: adaptive sampling vs one-shot LHS (the paper's future work).
+
+Section 6 suggests adaptive sampling could reduce simulation cost.  At an
+equal budget on mcf, compare a one-shot discrepancy-optimised LHS model
+with an adaptively grown sample.
+"""
+
+import pytest
+
+from repro.core.validation import prediction_errors
+from repro.experiments import common
+from repro.experiments.report import emit
+from repro.models.rbf import search_rbf_model
+from repro.sampling.adaptive import adaptive_sample
+from repro.util.tables import format_table
+
+BENCHMARK = "mcf"
+BUDGET = 60
+
+
+def _model_builder(points, responses):
+    search = search_rbf_model(
+        points, responses, p_min_grid=(1, 2), alpha_grid=(4.0, 6.0, 8.0)
+    )
+    return search.network.predict
+
+
+@pytest.fixture(scope="module")
+def results():
+    space = common.training_space()
+    runner = common.runner(BENCHMARK)
+    test_phys, test_cpi = common.test_set(BENCHMARK)
+    unit_test = space.encode(test_phys)
+
+    def response(unit_points):
+        return runner.cpi(space.decode(unit_points, num_levels=BUDGET))
+
+    adaptive = adaptive_sample(
+        space, response, _model_builder, budget=BUDGET,
+        seed=31, initial=30, batch=10, pool=256,
+    )
+    adaptive_model = _model_builder(adaptive.points, adaptive.responses)
+    adaptive_err = prediction_errors(test_cpi, adaptive_model(unit_test))
+
+    oneshot = common.rbf_model(BENCHMARK, BUDGET + 10)  # 70 is the nearest size
+    return {"adaptive (60)": adaptive_err, "one-shot LHS (70)": oneshot.errors}
+
+
+def test_ablation_adaptive(results, benchmark):
+    space = common.training_space()
+    runner = common.runner(BENCHMARK)
+
+    def response(unit_points):
+        return runner.cpi(space.decode(unit_points, num_levels=40))
+
+    benchmark.pedantic(
+        lambda: adaptive_sample(space, response, _model_builder, budget=40,
+                                seed=32, initial=30, batch=10, pool=64),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [(name, round(err.mean, 2), round(err.max, 1)) for name, err in results.items()]
+    emit(
+        "ablation_adaptive",
+        format_table(["strategy", "mean err %", "max err %"], rows,
+                     title=f"Adaptive sampling ablation ({BENCHMARK})"),
+    )
+
+    # Adaptive sampling lands in the same accuracy class as the one-shot
+    # design at a slightly smaller budget.  (Measured finding: this naive
+    # disagreement-driven scheme does NOT beat a good one-shot LHS here —
+    # the paper's future-work idea needs a smarter acquisition rule.)
+    assert results["adaptive (60)"].mean < results["one-shot LHS (70)"].mean * 4.0
+    assert results["adaptive (60)"].mean < 10.0

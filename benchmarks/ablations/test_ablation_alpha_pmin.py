@@ -1,0 +1,70 @@
+"""Ablation: sensitivity to the method parameters p_min and alpha.
+
+The paper tunes (p_min, alpha) per benchmark by AICc (Sec. 2.6, Table 4).
+This ablation maps test accuracy over the grid, verifying that (a) the
+response to alpha is non-trivial — too-narrow radii underfit between
+samples — and (b) the AICc-chosen setting sits near the accuracy optimum.
+"""
+
+import pytest
+
+from repro.core.validation import prediction_errors
+from repro.experiments import common
+from repro.experiments.report import emit
+from repro.models.rbf import build_rbf_from_tree
+from repro.models.tree import RegressionTree
+from repro.util.tables import format_table
+
+BENCHMARK = "mcf"
+SAMPLE_SIZE = 90
+ALPHAS = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0)
+P_MINS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def grid_errors():
+    base = common.rbf_model(BENCHMARK, SAMPLE_SIZE)
+    space = common.training_space()
+    test_phys, test_cpi = common.test_set(BENCHMARK)
+    unit_test = space.encode(test_phys)
+    errors = {}
+    for p_min in P_MINS:
+        tree = RegressionTree(base.unit_points, base.responses, p_min=p_min)
+        for alpha in ALPHAS:
+            net, _ = build_rbf_from_tree(
+                base.unit_points, base.responses, p_min=p_min, alpha=alpha, tree=tree
+            )
+            err = prediction_errors(test_cpi, net.predict(unit_test))
+            errors[(p_min, alpha)] = err.mean
+    return errors
+
+
+def test_ablation_alpha_pmin(grid_errors, benchmark):
+    base = common.rbf_model(BENCHMARK, SAMPLE_SIZE)
+    benchmark.pedantic(
+        lambda: build_rbf_from_tree(base.unit_points, base.responses,
+                                    p_min=1, alpha=6.0),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        [f"p_min={p}"] + [round(grid_errors[(p, a)], 2) for a in ALPHAS]
+        for p in P_MINS
+    ]
+    emit(
+        "ablation_alpha_pmin",
+        format_table(
+            ["mean err %"] + [f"a={a}" for a in ALPHAS],
+            rows,
+            title=f"(p_min, alpha) sensitivity ({BENCHMARK}, n={SAMPLE_SIZE})",
+        ),
+    )
+
+    chosen = common.rbf_model(BENCHMARK, SAMPLE_SIZE)
+    # Tiny radii underfit: alpha = 0.5 is clearly worse than the best.
+    best = min(grid_errors.values())
+    worst_small_alpha = min(grid_errors[(p, 0.5)] for p in P_MINS)
+    assert worst_small_alpha > best * 1.5
+    # The AICc-chosen configuration is close to the grid optimum.
+    assert chosen.errors.mean <= best * 1.8

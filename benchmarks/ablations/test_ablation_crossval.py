@@ -1,0 +1,66 @@
+"""Ablation: free accuracy estimates vs the paper's 50 paid test simulations.
+
+The paper validates each model with 50 extra simulations.  Cross-validation
+estimates accuracy from the training sample alone; if the estimate tracks
+the paid-for number, the designer saves a quarter of the Table 3 simulation
+budget.  Compares 5-fold CV and exact leave-one-out (fixed RBF basis)
+against the held-out truth at two sample sizes.
+"""
+
+import pytest
+
+from repro.core.crossval import kfold_error, loo_rbf_error
+from repro.experiments import common
+from repro.experiments.report import emit
+from repro.models.rbf import search_rbf_model
+from repro.util.tables import format_table
+
+BENCHMARK = "twolf"
+SIZES = (50, 110)
+
+
+def _cv_fit(points, responses):
+    search = search_rbf_model(
+        points, responses, p_min_grid=(1, 2), alpha_grid=(4.0, 6.0, 8.0)
+    )
+    return search.network.predict
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = []
+    for size in SIZES:
+        result = common.rbf_model(BENCHMARK, size)
+        held_out = result.errors
+        cv = kfold_error(result.unit_points, result.responses, _cv_fit,
+                         folds=5, seed=1)
+        loo, _ = loo_rbf_error(result.unit_points, result.responses, result.model)
+        rows.append((size, held_out, cv, loo))
+    return rows
+
+
+def test_ablation_crossval(results, benchmark):
+    result = common.rbf_model(BENCHMARK, SIZES[0])
+    benchmark(
+        lambda: loo_rbf_error(result.unit_points, result.responses, result.model)
+    )
+
+    table_rows = [
+        (size, round(held.mean, 2), round(cv.mean, 2), round(loo.mean, 2))
+        for size, held, cv, loo in results
+    ]
+    emit(
+        "ablation_crossval",
+        format_table(
+            ["sample size", "held-out mean %", "5-fold CV %", "LOO (fixed basis) %"],
+            table_rows,
+            title=f"Free vs paid accuracy estimates ({BENCHMARK})",
+        ),
+    )
+
+    for size, held, cv, loo in results:
+        # Both free estimates land within a small factor of the paid one
+        # (CV pessimistic is fine; wildly optimistic is not).
+        assert cv.mean >= held.mean * 0.3, size
+        assert cv.mean <= max(held.mean * 8.0, held.mean + 4.0), size
+        assert loo.mean >= held.mean * 0.2, size

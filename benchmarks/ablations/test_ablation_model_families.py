@@ -1,0 +1,81 @@
+"""Ablation: model families from the paper's related work.
+
+The paper compares against its own linear baseline (Fig. 7) and discusses
+Lee & Brooks' regression splines and Ipek et al.'s neural networks as
+parallel work.  This experiment puts all four families on the identical
+sample/test data for one memory-bound and one L1-bound benchmark.
+
+Expected shape: the non-linear families (RBF, spline, MLP) beat the linear
+model; the RBF network is competitive with the other non-linear families
+at a fraction of their tuning surface.
+"""
+
+import pytest
+
+from repro.core.validation import prediction_errors
+from repro.experiments import common
+from repro.experiments.report import emit
+from repro.models.linear import LinearInteractionModel
+from repro.models.mlp import MLPModel
+from repro.models.spline import SplineModel
+from repro.util.tables import format_table
+
+BENCHMARKS = ("mcf", "vortex")
+SAMPLE_SIZE = 110
+
+
+def _family_errors(benchmark):
+    space = common.training_space()
+    base = common.rbf_model(benchmark, SAMPLE_SIZE)
+    test_phys, test_cpi = common.test_set(benchmark)
+    unit_test = space.encode(test_phys)
+    x, y = base.unit_points, base.responses
+
+    out = {"RBF network": base.errors}
+    linear = LinearInteractionModel.fit(x, y)
+    out["linear+interactions"] = prediction_errors(test_cpi, linear.predict(unit_test))
+    spline = SplineModel.fit(x, y, max_terms=25)
+    out["regression spline"] = prediction_errors(test_cpi, spline.predict(unit_test))
+    mlp = MLPModel.fit(x, y, hidden=(16,), epochs=4000, seed=1)
+    out["neural network"] = prediction_errors(test_cpi, mlp.predict(unit_test))
+    return out
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {bench: _family_errors(bench) for bench in BENCHMARKS}
+
+
+def test_ablation_model_families(results, benchmark):
+    base = common.rbf_model("mcf", SAMPLE_SIZE)
+    benchmark.pedantic(
+        lambda: MLPModel.fit(base.unit_points, base.responses, hidden=(8,),
+                             epochs=500, seed=2),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = []
+    for bench, families in results.items():
+        rows = [
+            (name, round(err.mean, 2), round(err.max, 1))
+            for name, err in families.items()
+        ]
+        lines.append(format_table(
+            ["family", "mean err %", "max err %"], rows,
+            title=f"Model families ({bench}, n={SAMPLE_SIZE})",
+        ))
+    emit("ablation_model_families", "\n\n".join(lines))
+
+    for bench, families in results.items():
+        rbf = families["RBF network"].mean
+        linear = families["linear+interactions"].mean
+        # Non-linear beats linear (the paper's core comparison).
+        assert rbf < linear, bench
+        # The RBF family sits in the same accuracy class as the other
+        # non-linear families (on the smoothest surfaces the splines can
+        # edge it out; nothing non-linear is multiples better).
+        best_other = min(families["regression spline"].mean,
+                         families["neural network"].mean)
+        assert rbf < best_other * 5.0, bench
+        assert rbf < 3.0, bench

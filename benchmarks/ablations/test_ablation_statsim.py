@@ -1,0 +1,82 @@
+"""Related-work comparison: statistical simulation vs model-based prediction.
+
+The paper's related work positions statistical simulation (Eeckhout et
+al., Oskin et al.) as the other simulation-cost-reduction technique: it
+converges quickly but "its accuracy has not been demonstrated across the
+entire design space".  This experiment runs both techniques over the same
+test configurations:
+
+* the RBF model (built from 90 full simulations; per-query cost ~ a dot
+  product);
+* statistical simulation (one profiling pass; per-query cost one reduced
+  6k-instruction simulation).
+
+Expected shape: both track the CPI landscape; the model is substantially
+more accurate per query, while statistical simulation needs no design-time
+sample at all — the cost/accuracy trade-off the paper navigates.
+"""
+
+import pytest
+
+from repro.core.validation import prediction_errors
+from repro.experiments import common
+from repro.experiments.report import emit
+from repro.statsim import StatisticalSimulator
+from repro.util.tables import format_table
+from repro.workloads.spec2000 import DEFAULT_TRACE_LENGTH, get_trace
+
+BENCHMARK = "twolf"
+SAMPLE_SIZE = 90
+SYNTH_LENGTH = 6000
+
+
+@pytest.fixture(scope="module")
+def results():
+    test_phys, test_cpi = common.test_set(BENCHMARK)
+    model_result = common.rbf_model(BENCHMARK, SAMPLE_SIZE)
+    model_err = model_result.errors
+
+    estimator = StatisticalSimulator(
+        get_trace(BENCHMARK), synthetic_length=SYNTH_LENGTH, seed=17,
+        space=common.training_space(),
+    )
+    stat_pred = estimator.cpi(test_phys)
+    stat_err = prediction_errors(test_cpi, stat_pred)
+    return model_err, stat_err
+
+
+def test_ablation_statsim(results, benchmark):
+    model_err, stat_err = results
+
+    estimator = StatisticalSimulator(
+        get_trace(BENCHMARK), synthetic_length=2000, seed=18,
+        space=common.training_space(),
+    )
+    from repro.simulator.config import ProcessorConfig
+
+    benchmark.pedantic(
+        lambda: estimator.cpi_config(ProcessorConfig()), rounds=3, iterations=1
+    )
+
+    rows = [
+        ("RBF model (90 full sims)", round(model_err.mean, 2), round(model_err.max, 1),
+         "dot product"),
+        (f"statistical sim ({SYNTH_LENGTH} instr)", round(stat_err.mean, 2),
+         round(stat_err.max, 1), f"1 reduced sim ({SYNTH_LENGTH}/{DEFAULT_TRACE_LENGTH})"),
+    ]
+    emit(
+        "ablation_statsim",
+        format_table(
+            ["technique", "mean err %", "max err %", "per-query cost"],
+            rows,
+            title=f"Statistical simulation vs model-based prediction ({BENCHMARK})",
+        ),
+    )
+
+    # Statistical simulation lands in the right CPI class and tracks
+    # trends, but with the tens-of-percent absolute error the paper's
+    # related-work section criticises ("accuracy has not been demonstrated
+    # across the entire design space").
+    assert stat_err.mean < 60.0
+    # The paper's model is clearly more accurate per query.
+    assert model_err.mean < stat_err.mean

@@ -1,0 +1,36 @@
+"""Regenerates Figure 1: the CPI response surface (vortex).
+
+Paper shape: CPI rises with L2 latency and falls with icache size, with
+*curvature* — the latency penalty is much steeper when the icache is small.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common, fig1_response_surface as exp
+from repro.experiments.report import emit
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exp.run()
+
+
+def test_fig1_response_surface(result, benchmark):
+    # Benchmark the simulator evaluation of one surface point.
+    space = common.training_space()
+    point = dict(exp.BASE_POINT)
+    pts = np.array([[point[n] for n in space.names]])
+    runner = common.runner(exp.BENCHMARK)
+    benchmark(lambda: runner.metric(pts, "cpi"))
+
+    emit("fig1_response_surface", exp.render(result))
+
+    sim = result.grid.simulated
+    # CPI increases with L2 latency at every icache size.
+    assert np.all(np.diff(sim, axis=1) > -1e-9)
+    # CPI decreases (weakly) with icache size at every latency.
+    assert np.all(np.diff(sim, axis=0) < 1e-9)
+    # The interaction that motivates non-linear models: latency hurts
+    # more with a small icache.
+    assert result.interaction_ratio > 1.2

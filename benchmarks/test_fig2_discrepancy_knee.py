@@ -1,0 +1,42 @@
+"""Regenerates Figure 2: best L2-star discrepancy vs number of simulations.
+
+Paper shape: monotonically improving space coverage with a knee (near 90)
+past which additional samples barely improve the discrepancy.  Also prints
+the Table 1 design space the samples cover.
+"""
+
+import pytest
+
+from repro.experiments import common, fig2_discrepancy as exp
+from repro.experiments.report import emit
+from repro.sampling.lhs import latin_hypercube
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exp.run()
+
+
+def test_fig2_discrepancy_knee(result, benchmark):
+    space = common.training_space()
+    rng = make_rng(0, "bench-lhs")
+    benchmark(lambda: latin_hypercube(space, 90, rng))
+
+    emit(
+        "fig2_discrepancy_knee",
+        space.describe() + "\n\n" + exp.render(result),
+    )
+
+    values = [d for _, d in result.curve]
+    sizes = [s for s, _ in result.curve]
+    # Overall decreasing coverage metric.
+    assert values[0] > values[-1]
+    # Near-monotone: each point no worse than 5% above its predecessor.
+    assert all(b <= a * 1.05 for a, b in zip(values, values[1:]))
+    # Knee lands in the paper's region (they chose ~90).
+    assert 50 <= result.knee <= 130
+    # Tapering: the last 50 samples improve less than the first 30 did.
+    first_gain = values[0] - values[sizes.index(60)]
+    last_gain = values[sizes.index(150)] - values[-1]
+    assert first_gain > last_gain

@@ -1,0 +1,38 @@
+"""Regenerates Figure 3: the RBF network structure (as actually trained).
+
+The paper's figure is a schematic (inputs -> m RBFs -> linear output); the
+checkable content is structural: the trained network must have exactly the
+schematic's shape, with every quantity finite and the hidden layer far
+smaller than the training sample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common, fig3_network as exp
+from repro.experiments.report import emit
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exp.run()
+
+
+def test_fig3_network_structure(result, benchmark):
+    net = result.network
+    unit_points = common.rbf_model(exp.BENCHMARK, exp.SAMPLE_SIZE).unit_points
+    benchmark(lambda: net.hidden_responses(unit_points))
+
+    emit("fig3_network_structure", exp.render(result))
+
+    # Input layer width = the paper's 9 design parameters.
+    assert result.inputs == 9
+    # Hidden layer: non-trivial but far smaller than the sample (AICc).
+    assert 1 <= result.hidden_units < exp.SAMPLE_SIZE / 2
+    # All structural quantities finite; radii positive (Eq. 2 well-defined).
+    assert np.all(np.isfinite(net.weights))
+    assert np.all(net.radii > 0)
+    assert np.all(np.isfinite(net.centers))
+    # Hidden responses are Gaussian activations in (0, 1].
+    h = net.hidden_responses(unit_points)
+    assert h.min() >= 0.0 and h.max() <= 1.0 + 1e-12

@@ -1,0 +1,41 @@
+"""Regenerates Figure 4: model error vs sample size (mcf and twolf).
+
+Paper shape: mean/std/max errors decrease with sample size, and the
+improvement tapers at the higher sizes (past the Figure 2 knee near 90).
+"""
+
+import pytest
+
+from repro.experiments import common, fig4_error_vs_sample_size as exp
+from repro.experiments.report import emit
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exp.run()
+
+
+def test_fig4_error_vs_sample_size(result, benchmark):
+    # Benchmark one full model construction at the knee sample size (the
+    # recurring cost of the paper's procedure, simulation excluded).
+    mcf_90 = common.rbf_model("mcf", 90)
+    from repro.models.rbf import build_rbf_from_tree
+
+    benchmark(
+        lambda: build_rbf_from_tree(
+            mcf_90.unit_points, mcf_90.responses,
+            p_min=mcf_90.info.p_min, alpha=mcf_90.info.alpha,
+        )
+    )
+
+    emit("fig4_error_vs_sample_size", exp.render(result))
+
+    for name, rows in result.series.items():
+        means = [e.mean for _, e in rows]
+        # Largest sample clearly beats the smallest.
+        assert means[-1] < means[0], name
+        # Usable accuracy at the top size.
+        assert means[-1] < 8.0, name
+        # Taper: per-sample improvement before the knee exceeds after.
+        pre, post = exp.tapering(result, name)
+        assert pre > post, name

@@ -1,0 +1,41 @@
+"""Regenerates Figure 6: predicted vs simulated trends (vortex).
+
+Paper shape: the model's dashed lines closely mirror the simulated solid
+lines over the icache-size x L2-latency grid, with the worst deviation in
+the steep small-icache / high-latency corner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common, fig6_trend_prediction as exp
+from repro.experiments.report import emit
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exp.run()
+
+
+def test_fig6_trend_prediction(result, benchmark):
+    # Benchmark the model side of the comparison: predicting the grid.
+    space = common.training_space()
+    model = common.rbf_model(exp.BENCHMARK, exp.SAMPLE_SIZE).model
+    pts = []
+    for yv in result.grid.y_values:
+        for xv in result.grid.x_values:
+            point = dict(exp.BASE_POINT)
+            point["il1_size_kb"] = yv
+            point["l2_lat"] = xv
+            pts.append([point[n] for n in space.names])
+    unit = space.encode(np.array(pts))
+    benchmark(lambda: model.predict(unit))
+
+    emit("fig6_trend_prediction", exp.render(result))
+
+    # Predictions track the simulated trend directions.
+    assert result.monotonic_agreement >= 0.75
+    # And the magnitudes stay close (the paper's lines nearly overlap).
+    assert result.max_trend_error < 30.0
+    rel = np.abs(result.grid.predicted - result.grid.simulated) / result.grid.simulated
+    assert rel.mean() < 0.08

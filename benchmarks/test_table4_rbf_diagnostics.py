@@ -1,0 +1,44 @@
+"""Regenerates Table 4: best p_min / alpha / #centers vs sample size (mcf).
+
+Paper shape: small p_min (typically 1), radius scale alpha well above 1
+(RBFs influence neighbouring regions), and center counts well below half
+the sample size, growing with it.
+"""
+
+import pytest
+
+from repro.experiments import common, table4_rbf_diagnostics as exp
+from repro.experiments.report import emit
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exp.run()
+
+
+def test_table4_rbf_diagnostics(result, benchmark):
+    # Benchmark the (p_min, alpha) selection at a small sample size.
+    small = common.rbf_model("mcf", 30)
+    from repro.models.rbf import search_rbf_model
+
+    benchmark.pedantic(
+        lambda: search_rbf_model(
+            small.unit_points, small.responses,
+            p_min_grid=(1, 2), alpha_grid=(4.0, 8.0),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    emit("table4_rbf_diagnostics", exp.render(result))
+
+    infos = [info for _, info in result.rows]
+    sizes = [size for size, _ in result.rows]
+    # Paper: best p_min is small (typically 1).
+    assert all(info.p_min <= 3 for info in infos)
+    # Radii reach beyond their own tree region (alpha > 1).
+    assert all(info.alpha > 1.0 for info in infos)
+    # Centers stay well below half the sample points.
+    assert result.centers_below_half()
+    # Model capacity grows with the sample.
+    assert infos[-1].num_centers > infos[0].num_centers

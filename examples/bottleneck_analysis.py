@@ -1,0 +1,38 @@
+"""Bottleneck analysis: CPI stacks across programs and configurations.
+
+The paper motivates modeling partly by the "lack of insights on ... the
+nature of performance bottlenecks" in ad-hoc exploration.  This example
+derives CPI stacks by counterfactual simulation (oracle branch predictor,
+perfect caches) for three contrasting programs, then shows how a design
+change shifts the bottleneck.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro import ProcessorConfig, get_trace
+from repro.analysis.bottleneck import cpi_stack, render_stack
+
+PROGRAMS = ("mcf", "crafty", "equake")
+
+
+def main() -> None:
+    print("CPI stacks on the baseline machine:\n")
+    for name in PROGRAMS:
+        trace = get_trace(name, 16384)
+        stack = cpi_stack(ProcessorConfig(), trace)
+        print(f"--- {name} (dominant: {stack.dominant_component()})")
+        print(render_stack(stack))
+        print()
+
+    print("Effect of a design change (mcf, L2 256KB -> 8MB):")
+    trace = get_trace("mcf", 16384)
+    for l2 in (256, 8192):
+        stack = cpi_stack(ProcessorConfig(l2_size_kb=l2), trace)
+        print(f"\n--- L2 = {l2}KB")
+        print(render_stack(stack))
+    print("\nShape check: growing the L2 shrinks the data-memory component;")
+    print("the residual bottleneck shifts toward the base/branch components.")
+
+
+if __name__ == "__main__":
+    main()

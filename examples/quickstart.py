@@ -1,0 +1,65 @@
+"""Quickstart: build a CPI model for one benchmark and predict with it.
+
+This walks the paper's BuildRBFmodel procedure end to end:
+
+1. take the paper's 9-parameter design space (Table 1);
+2. pick a discrepancy-optimised latin hypercube sample;
+3. simulate CPI at the sampled points (the only expensive step);
+4. fit an RBF network (regression tree + AICc center selection);
+5. validate on independent random points from the restricted Table 2 space;
+6. use the model as a simulation substitute.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BuildRBFModel,
+    SimulationRunner,
+    paper_design_space,
+    paper_test_space,
+)
+from repro.sampling.random_design import random_design
+
+BENCHMARK = "mcf"
+SAMPLE_SIZE = 90  # near the knee of the discrepancy curve (paper Fig. 2)
+
+
+def main() -> None:
+    space = paper_design_space()
+    print(space.describe())
+    print()
+
+    # The runner simulates CPI at physical design points and memoises
+    # results on disk, so re-running this script is cheap.
+    runner = SimulationRunner(BENCHMARK)
+
+    # Independent random test points from the restricted space (Table 2).
+    test_space = paper_test_space()
+    test_points = test_space.decode(random_design(test_space, 50, seed=123))
+    test_cpi = runner.cpi(test_points)
+
+    builder = BuildRBFModel(space, runner.cpi, seed=42)
+    result = builder.build(SAMPLE_SIZE, test_points, test_cpi)
+
+    info = result.info
+    print(f"Built RBF model for {BENCHMARK} from {SAMPLE_SIZE} simulations:")
+    print(f"  method parameters: p_min={info.p_min}, alpha={info.alpha}")
+    print(f"  RBF centers: {info.num_centers} (of {info.num_candidates} candidates)")
+    print(f"  test accuracy: {result.errors}")
+    print()
+
+    # The model now replaces simulation: predict an unseen configuration.
+    point = {
+        "pipe_depth": 14, "rob_size": 96, "iq_frac": 0.5, "lsq_frac": 0.5,
+        "l2_size_kb": 2048, "l2_lat": 10, "il1_size_kb": 32,
+        "dl1_size_kb": 32, "dl1_lat": 2,
+    }
+    predicted = result.predict_physical(space, space.as_array(point)[None, :])[0]
+    simulated = runner.cpi(space.as_array(point)[None, :])[0]
+    print(f"Unseen design point: predicted CPI {predicted:.3f}, "
+          f"simulated CPI {simulated:.3f} "
+          f"({abs(predicted - simulated) / simulated * 100:.1f}% error)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Sensitivity analysis: how much do interactions matter?
+
+The paper's critique of Plackett-Burman screening (related work) is that
+it assumes parameter interactions are negligible, while processor
+performance exhibits significant interactions.  This example quantifies
+that claim with variance-based (Sobol) sensitivity analysis computed from
+a fitted model — thousands of model evaluations, zero extra simulations.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro import BuildRBFModel, SimulationRunner, paper_design_space
+from repro.analysis.anova import interaction_share, rank_by_total, sobol_indices
+
+BENCHMARK = "mcf"
+SAMPLE_SIZE = 110
+
+
+def main() -> None:
+    space = paper_design_space()
+    runner = SimulationRunner(BENCHMARK)
+    builder = BuildRBFModel(space, runner.cpi, seed=42)
+    model = builder.build(SAMPLE_SIZE).model
+    print(f"Model built for {BENCHMARK} from {SAMPLE_SIZE} simulations.\n")
+
+    indices = sobol_indices(model, space, samples=8192, seed=0)
+    print(f"{'parameter':14} {'first-order':>12} {'total':>8} {'interaction':>12}")
+    for ix in rank_by_total(indices):
+        print(f"{ix.parameter:14} {ix.first_order:>12.3f} {ix.total:>8.3f} "
+              f"{ix.interaction:>12.3f}")
+
+    share = interaction_share(indices)
+    print(f"\nInteraction share of total CPI variance: {share * 100:.1f}%")
+    print("A Plackett-Burman screen structurally assumes this is ~0; the")
+    print("paper's position is that interactions are significant, which is")
+    print("why it samples the full space and fits a non-linear model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Statistical simulation: the related-work alternative, end to end.
+
+Profiles a benchmark trace into statistics, regenerates a reduced
+synthetic trace, and compares three ways of answering "what is the CPI at
+configuration X?":
+
+* full detailed simulation (ground truth, most expensive);
+* statistical simulation (one reduced simulation per query);
+* the paper's RBF model (expensive once, then free per query).
+
+Run:  python examples/statistical_simulation.py
+"""
+
+from repro import (
+    BuildRBFModel,
+    ProcessorConfig,
+    SimulationRunner,
+    StatisticalSimulator,
+    characterize,
+    get_trace,
+    paper_design_space,
+    simulate,
+)
+
+BENCHMARK = "twolf"
+SYNTH_LENGTH = 6000
+
+
+def main() -> None:
+    source = get_trace(BENCHMARK)
+    estimator = StatisticalSimulator(source, synthetic_length=SYNTH_LENGTH, seed=7)
+
+    src_char = characterize(source)
+    syn_char = characterize(estimator.trace)
+    print(f"Profile fidelity ({BENCHMARK} -> {SYNTH_LENGTH}-instr synthetic):")
+    print(f"  memory fraction : {src_char.memory_fraction():.3f} -> "
+          f"{syn_char.memory_fraction():.3f}")
+    print(f"  branch fraction : {src_char.branch_fraction:.3f} -> "
+          f"{syn_char.branch_fraction:.3f}")
+    print(f"  mean dep dist   : {src_char.mean_dep_distance:.2f} -> "
+          f"{syn_char.mean_dep_distance:.2f}")
+
+    space = paper_design_space()
+    runner = SimulationRunner(BENCHMARK)
+    model = BuildRBFModel(space, runner.cpi, seed=42).build(90).model
+
+    configs = {
+        "baseline": ProcessorConfig(),
+        "slow memory": ProcessorConfig(l2_lat=20, dl1_lat=4),
+        "small window": ProcessorConfig(rob_size=24, iq_size=12, lsq_size=12),
+    }
+    print(f"\n{'configuration':14} {'true':>8} {'statsim':>8} {'model':>8}")
+    for name, config in configs.items():
+        true_cpi = simulate(config, source).cpi
+        stat_cpi = estimator.cpi_config(config)
+        point = {
+            "pipe_depth": config.pipe_depth, "rob_size": config.rob_size,
+            "iq_frac": config.iq_size / config.rob_size,
+            "lsq_frac": config.lsq_size / config.rob_size,
+            "l2_size_kb": config.l2_size_kb, "l2_lat": config.l2_lat,
+            "il1_size_kb": config.il1_size_kb, "dl1_size_kb": config.dl1_size_kb,
+            "dl1_lat": config.dl1_lat,
+        }
+        model_cpi = model.predict(space.encode(space.as_array(point)[None, :]))[0]
+        print(f"{name:14} {true_cpi:>8.3f} {stat_cpi:>8.3f} {model_cpi:>8.3f}")
+
+    print("\nCost per additional query:")
+    print(f"  detailed simulation : {len(source)} instructions")
+    print(f"  statistical sim     : {SYNTH_LENGTH} instructions "
+          f"({len(source) // SYNTH_LENGTH}x cheaper)")
+    print("  RBF model           : one dot product (after 90 training sims)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Trend analysis: microarchitectural insight without re-simulating.
+
+Reproduces the paper's Sec. 4.1 workflow interactively: fit a model, rank
+parameter significance from it, and check a two-factor interaction trend
+(predicted vs simulated) like the paper's Figure 6.
+
+Run:  python examples/trend_analysis.py
+"""
+
+from repro import BuildRBFModel, SimulationRunner, paper_design_space
+from repro.analysis.effects import rank_parameters
+from repro.analysis.trends import interaction_grid, trend_comparison
+
+BENCHMARK = "vortex"
+SAMPLE_SIZE = 110
+
+BASE_POINT = {
+    "pipe_depth": 15, "rob_size": 76, "iq_frac": 0.5, "lsq_frac": 0.5,
+    "l2_size_kb": 1448, "l2_lat": 12, "il1_size_kb": 32,
+    "dl1_size_kb": 32, "dl1_lat": 2,
+}
+
+
+def main() -> None:
+    space = paper_design_space()
+    runner = SimulationRunner(BENCHMARK)
+    builder = BuildRBFModel(space, runner.cpi, seed=42)
+    result = builder.build(SAMPLE_SIZE)
+    model = result.model
+
+    print(f"Parameter significance for {BENCHMARK} (main-effect magnitude, "
+          "estimated from the model alone):")
+    for effect in rank_parameters(model, space):
+        bar = "#" * int(round(effect.magnitude * 30))
+        print(f"  {effect.parameter:12s} {effect.magnitude:6.3f} {bar}")
+
+    print("\nTwo-factor interaction: icache size x L2 latency "
+          "(solid = simulation, prd = model):")
+    grid = interaction_grid(
+        space, runner.cpi, BASE_POINT,
+        param_x="l2_lat", x_values=[5, 10, 15, 20],
+        param_y="il1_size_kb", y_values=[8, 64],
+        model=model,
+    )
+    print(trend_comparison(grid))
+    print(f"\ntrend direction agreement: {grid.monotonic_agreement()*100:.0f}%")
+    print(f"max trend error: {grid.max_trend_error():.1f}%")
+
+
+if __name__ == "__main__":
+    main()

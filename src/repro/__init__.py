@@ -1,0 +1,91 @@
+"""repro — reproduction of *A Predictive Performance Model for Superscalar
+Processors* (Joseph, Vaswani & Thazhuthaveetil, MICRO 2006).
+
+The library has three layers:
+
+* :mod:`repro.simulator` / :mod:`repro.workloads` — the substrate: a
+  from-scratch trace-driven superscalar timing simulator and synthetic
+  SPEC CPU2000-like workloads;
+* :mod:`repro.sampling` / :mod:`repro.models` — the paper's machinery:
+  latin hypercube sampling with L2-discrepancy optimisation, regression
+  trees, RBF networks with AICc center selection, and the linear baseline;
+* :mod:`repro.core` / :mod:`repro.analysis` / :mod:`repro.experiments` —
+  the ``BuildRBFmodel`` procedure, trend/split analyses, and one module per
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        BuildRBFModel, paper_design_space, paper_test_space, SimulationRunner,
+    )
+
+    space = paper_design_space()
+    runner = SimulationRunner("mcf")
+    builder = BuildRBFModel(space, runner.cpi, seed=42)
+    result = builder.build(sample_size=90)
+    cpi = result.predict_physical(space, my_points)
+"""
+
+from repro.core.design_space import (
+    DesignSpace,
+    Parameter,
+    paper_design_space,
+    paper_test_space,
+)
+from repro.core.procedure import BuildRBFModel, ModelBuildResult
+from repro.core.validation import ErrorReport, prediction_errors
+from repro.experiments.runner import SimulationRunner
+from repro.models.linear import LinearInteractionModel
+from repro.models.rbf import RBFNetwork, build_rbf_from_tree, search_rbf_model
+from repro.models.tree import RegressionTree
+from repro.sampling.discrepancy import centered_l2_discrepancy, star_l2_discrepancy
+from repro.sampling.lhs import latin_hypercube
+from repro.sampling.optimizer import best_lhs_sample, discrepancy_curve, find_knee
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.metrics import SimResult
+from repro.simulator.simulator import Simulator, simulate, simulate_design_point
+from repro.analysis.bottleneck import CPIStack, cpi_stack
+from repro.models.io import load_model, save_model
+from repro.statsim import StatisticalSimulator
+from repro.workloads.characterize import characterize
+from repro.workloads.spec2000 import benchmark_names, get_profile, get_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignSpace",
+    "Parameter",
+    "paper_design_space",
+    "paper_test_space",
+    "BuildRBFModel",
+    "ModelBuildResult",
+    "ErrorReport",
+    "prediction_errors",
+    "SimulationRunner",
+    "LinearInteractionModel",
+    "RBFNetwork",
+    "build_rbf_from_tree",
+    "search_rbf_model",
+    "RegressionTree",
+    "centered_l2_discrepancy",
+    "star_l2_discrepancy",
+    "latin_hypercube",
+    "best_lhs_sample",
+    "discrepancy_curve",
+    "find_knee",
+    "ProcessorConfig",
+    "SimResult",
+    "Simulator",
+    "simulate",
+    "simulate_design_point",
+    "CPIStack",
+    "cpi_stack",
+    "load_model",
+    "save_model",
+    "StatisticalSimulator",
+    "characterize",
+    "benchmark_names",
+    "get_profile",
+    "get_trace",
+    "__version__",
+]

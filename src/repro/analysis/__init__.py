@@ -1,0 +1,20 @@
+"""Model-based analyses: trends, tree splits, parameter effects, search."""
+
+from repro.analysis.anova import interaction_share, rank_by_total, sobol_indices
+from repro.analysis.effects import main_effects, rank_parameters
+from repro.analysis.optimize import optimize_design
+from repro.analysis.splits import significant_splits, split_value_distribution
+from repro.analysis.trends import interaction_grid, trend_comparison
+
+__all__ = [
+    "interaction_share",
+    "rank_by_total",
+    "sobol_indices",
+    "main_effects",
+    "rank_parameters",
+    "optimize_design",
+    "significant_splits",
+    "split_value_distribution",
+    "interaction_grid",
+    "trend_comparison",
+]

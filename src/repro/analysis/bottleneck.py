@@ -1,0 +1,112 @@
+"""CPI-stack (bottleneck) analysis by counterfactual simulation.
+
+One of the drawbacks the paper attributes to ad-hoc design-space
+exploration is the *"lack of insights on issues such as the nature of
+performance bottlenecks"*.  This module derives a CPI breakdown directly
+from the simulator by differencing against idealised machines:
+
+* **branch** component: CPI minus the CPI with an oracle front end
+  (``perfect_branch_prediction``);
+* **data memory** component: CPI minus the CPI with a perfect D-cache;
+* **instruction memory** component: CPI minus the CPI with a perfect L1I;
+* **base** component: the CPI of the machine with all three idealised —
+  issue width, dependences and functional units only.
+
+Because stall sources overlap in an out-of-order machine, the components
+do not sum exactly to the total; the residual is reported as *overlap*
+(positive when mechanisms hide each other's latency), which is itself an
+interesting diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.simulator import Simulator
+from repro.simulator.trace import Trace
+
+
+@dataclass(frozen=True)
+class CPIStack:
+    """CPI decomposition for one (configuration, trace) pair."""
+
+    total: float
+    base: float  # ideal-machine CPI (width/ILP/FU limits only)
+    branch: float  # removed by oracle branch prediction
+    data_memory: float  # removed by a perfect D-cache
+    instruction_memory: float  # removed by a perfect L1I
+
+    @property
+    def overlap(self) -> float:
+        """total - (base + components): negative when stalls overlap."""
+        return self.total - (
+            self.base + self.branch + self.data_memory + self.instruction_memory
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total": self.total,
+            "base": self.base,
+            "branch": self.branch,
+            "data_memory": self.data_memory,
+            "instruction_memory": self.instruction_memory,
+            "overlap": self.overlap,
+        }
+
+    def dominant_component(self) -> str:
+        """The largest stall component (excluding base)."""
+        parts = {
+            "branch": self.branch,
+            "data_memory": self.data_memory,
+            "instruction_memory": self.instruction_memory,
+        }
+        return max(parts, key=parts.get)
+
+
+def cpi_stack(config: ProcessorConfig, trace: Trace) -> CPIStack:
+    """Compute a CPI stack via four counterfactual simulations.
+
+    The idealisation switches on :class:`ProcessorConfig` must all be off
+    in ``config`` (they are overridden here).
+    """
+    if (config.perfect_branch_prediction or config.perfect_dcache
+            or config.perfect_icache):
+        raise ValueError("pass the real configuration; idealisation is internal")
+
+    def cpi(**flags) -> float:
+        return Simulator(replace(config, **flags)).run(trace).cpi
+
+    total = cpi()
+    branch = total - cpi(perfect_branch_prediction=True)
+    data = total - cpi(perfect_dcache=True)
+    instr = total - cpi(perfect_icache=True)
+    base = cpi(
+        perfect_branch_prediction=True,
+        perfect_dcache=True,
+        perfect_icache=True,
+    )
+    return CPIStack(
+        total=total,
+        base=base,
+        branch=max(0.0, branch),
+        data_memory=max(0.0, data),
+        instruction_memory=max(0.0, instr),
+    )
+
+
+def render_stack(stack: CPIStack) -> str:
+    """One-line-per-component text rendering with proportional bars."""
+    lines = [f"total CPI {stack.total:.3f}"]
+    for name, value in (
+        ("base", stack.base),
+        ("branch", stack.branch),
+        ("data memory", stack.data_memory),
+        ("instr memory", stack.instruction_memory),
+        ("overlap", stack.overlap),
+    ):
+        width = int(round(abs(value) / stack.total * 50)) if stack.total else 0
+        sign = "-" if value < 0 else ""
+        lines.append(f"  {name:13s} {value:+7.3f} {sign}{'#' * width}")
+    return "\n".join(lines)

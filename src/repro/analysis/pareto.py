@@ -1,0 +1,100 @@
+"""Multi-metric Pareto analysis over fitted models.
+
+The paper's conclusion points at multi-metric modeling ("other metrics
+such as power consumption"); once a CPI model and a power model exist,
+the interesting design questions are trade-offs.  These utilities compute
+non-dominated fronts and simple scalarisations (energy-delay style
+products) over model-scored candidate populations — thousands of
+evaluations, zero simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace
+from repro.models.base import Model
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated design point with its metric values."""
+
+    point: Dict[str, float]  # physical parameter values
+    metrics: Dict[str, float]
+
+
+def pareto_front(values: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows of ``values`` (all minimised).
+
+    O(n^2) dominance check — fine for the few thousand candidates model
+    scoring produces.  Rows are returned sorted by the first metric.
+    """
+    values = np.atleast_2d(np.asarray(values, dtype=float))
+    n = len(values)
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        dominated = np.all(values <= values[i], axis=1) & np.any(
+            values < values[i], axis=1
+        )
+        if dominated.any():
+            keep[i] = False
+    idx = np.nonzero(keep)[0]
+    return idx[np.argsort(values[idx, 0])]
+
+
+def model_pareto(
+    models: Dict[str, Model],
+    space: DesignSpace,
+    candidates: int = 2048,
+    seed: int = 0,
+) -> List[ParetoPoint]:
+    """Non-dominated front of model-predicted metrics (all minimised).
+
+    ``models`` maps metric names to fitted models sharing the space's
+    unit-cube encoding.
+    """
+    if not models:
+        raise ValueError("need at least one model")
+    rng = make_rng(seed, "pareto", space.name, candidates)
+    unit = space.random_unit_points(candidates, rng)
+    names = list(models)
+    columns = np.column_stack([models[name].predict(unit) for name in names])
+    front = pareto_front(columns)
+    out = []
+    for idx in front:
+        phys = space.decode(unit[idx][None, :])[0]
+        out.append(
+            ParetoPoint(
+                point=space.as_dict(phys),
+                metrics={name: float(columns[idx, k]) for k, name in enumerate(names)},
+            )
+        )
+    return out
+
+
+def scalarize(
+    front: Sequence[ParetoPoint], weights: Dict[str, float]
+) -> ParetoPoint:
+    """Pick the front point minimising a weighted product of metrics.
+
+    With ``weights = {"cpi": 2, "power": 1}`` this is the energy-delay-
+    squared style figure of merit (metrics raised to their weights and
+    multiplied).
+    """
+    if not front:
+        raise ValueError("empty front")
+
+    def merit(p: ParetoPoint) -> float:
+        value = 1.0
+        for name, w in weights.items():
+            value *= p.metrics[name] ** w
+        return value
+
+    return min(front, key=merit)

@@ -1,0 +1,24 @@
+"""Core model-building procedure: design spaces, BuildRBFModel, validation."""
+
+from repro.core.crossval import kfold_error, loo_rbf_error
+from repro.core.design_space import (
+    DesignSpace,
+    Parameter,
+    paper_design_space,
+    paper_test_space,
+)
+from repro.core.procedure import BuildRBFModel, ModelBuildResult
+from repro.core.validation import ErrorReport, prediction_errors
+
+__all__ = [
+    "kfold_error",
+    "loo_rbf_error",
+    "DesignSpace",
+    "Parameter",
+    "paper_design_space",
+    "paper_test_space",
+    "BuildRBFModel",
+    "ModelBuildResult",
+    "ErrorReport",
+    "prediction_errors",
+]

@@ -1,0 +1,5 @@
+"""Experiment harness: one module per table/figure, plus shared plumbing."""
+
+from repro.experiments.runner import SimulationRunner
+
+__all__ = ["SimulationRunner"]

@@ -1,0 +1,29 @@
+"""Output plumbing for the benchmark harness.
+
+Each benchmark regenerating a paper exhibit both prints its rows/series
+(visible with ``pytest -s`` and in failure output) and writes them under
+``results/`` so the artifacts survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_RESULTS_ENV = "REPRO_RESULTS_DIR"
+
+
+def results_dir() -> Path:
+    """Directory for rendered experiment outputs."""
+    return Path(os.environ.get(_RESULTS_ENV, "results"))
+
+
+def emit(name: str, text: str) -> Path:
+    """Print ``text`` and persist it as ``results/<name>.txt``."""
+    print()
+    print(text)
+    out = results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,146 @@
+"""Simulation runner with on-disk memoisation.
+
+Every experiment needs the same primitive: "CPI of benchmark B at physical
+design point x".  :class:`SimulationRunner` provides it as a vectorised
+response function compatible with :class:`repro.core.procedure.BuildRBFModel`,
+and memoises results on disk (keyed by benchmark, trace length, seed and the
+full processor configuration) so the ~4000-simulation experiment grid is
+paid for once per machine, not once per pytest invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace, paper_design_space
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.simulator import Simulator
+from repro.workloads.spec2000 import DEFAULT_TRACE_LENGTH, get_trace
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in the CWD."""
+    return Path(os.environ.get(_CACHE_ENV, ".repro_cache"))
+
+
+class SimulationRunner:
+    """Memoised detailed simulation at physical design points.
+
+    Parameters
+    ----------
+    benchmark:
+        Workload name (see :func:`repro.workloads.benchmark_names`).
+    space:
+        Design space whose parameter order physical points follow
+        (defaults to the paper's Table 1 space).
+    trace_length, seed:
+        Trace construction parameters (part of the cache key).
+    cache_dir:
+        Directory for the JSON result cache; ``None`` disables disk
+        caching (in-memory memoisation still applies).
+    """
+
+    def __init__(
+        self,
+        benchmark: str,
+        space: Optional[DesignSpace] = None,
+        trace_length: int = DEFAULT_TRACE_LENGTH,
+        seed: int = 0,
+        cache_dir: Optional[Path] = default_cache_dir(),
+    ):
+        self.benchmark = benchmark
+        self.space = space if space is not None else paper_design_space()
+        self.trace_length = trace_length
+        self.seed = seed
+        self.simulations_run = 0
+        self.cache_hits = 0
+        self._cache: Dict[str, Dict[str, float]] = {}
+        self._cache_path: Optional[Path] = None
+        if cache_dir is not None:
+            cache_dir = Path(cache_dir)
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            # The trace fingerprint keys the cache to the trace *content*,
+            # so editing a workload profile can never serve stale results.
+            fp = self._trace_fingerprint()
+            self._cache_path = cache_dir / f"{benchmark}-{trace_length}-{seed}-{fp}.json"
+            if self._cache_path.exists():
+                try:
+                    self._cache = json.loads(self._cache_path.read_text())
+                except (json.JSONDecodeError, OSError):
+                    self._cache = {}
+
+    def _trace_fingerprint(self) -> str:
+        """Short stable hash of the benchmark trace's content."""
+        import hashlib
+
+        trace = get_trace(self.benchmark, self.trace_length, self.seed)
+        digest = hashlib.sha256()
+        for arr in (trace.op, trace.src1, trace.src2, trace.addr, trace.pc):
+            digest.update(arr.tobytes())
+        digest.update(trace.taken.tobytes())
+        return digest.hexdigest()[:12]
+
+    # -- low-level --------------------------------------------------------
+
+    def _flush(self) -> None:
+        if self._cache_path is None:
+            return
+        tmp = self._cache_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._cache))
+        tmp.replace(self._cache_path)
+
+    def result_at(self, point: Mapping[str, float]) -> Dict[str, float]:
+        """Simulation summary at one physical design point (dict form)."""
+        resolved = self.space.resolve(dict(point))
+        config = ProcessorConfig.from_design_point(resolved)
+        key = config.key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        trace = get_trace(self.benchmark, self.trace_length, self.seed)
+        result = Simulator(config).run(trace)
+        self.simulations_run += 1
+        summary = {
+            "cpi": result.cpi,
+            "power": result.power,
+            "energy": result.energy,
+            "il1_miss_rate": result.il1_miss_rate,
+            "dl1_miss_rate": result.dl1_miss_rate,
+            "l2_miss_rate": result.l2_miss_rate,
+            "branch_mispredict_rate": result.branch_mispredict_rate,
+        }
+        self._cache[key] = summary
+        return summary
+
+    # -- vectorised response functions -------------------------------------
+
+    def metric(self, points: np.ndarray, name: str) -> np.ndarray:
+        """Evaluate one summary metric at ``(m, n)`` physical points."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        values = np.empty(len(points))
+        for i, row in enumerate(points):
+            values[i] = self.result_at(self.space.as_dict(row))[name]
+        self._flush()
+        return values
+
+    def cpi(self, points: np.ndarray) -> np.ndarray:
+        """CPI response function (the paper's modeling target)."""
+        return self.metric(points, "cpi")
+
+    def power(self, points: np.ndarray) -> np.ndarray:
+        """Power response function (the future-work extension metric)."""
+        return self.metric(points, "power")
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationRunner({self.benchmark!r}, trace={self.trace_length}, "
+            f"seed={self.seed}, runs={self.simulations_run}, hits={self.cache_hits})"
+        )

@@ -1,0 +1,24 @@
+"""Empirical performance models: regression trees, RBF networks, linear baseline."""
+
+from repro.models.base import Model
+from repro.models.mlp import MLPModel
+from repro.models.spline import SplineModel
+from repro.models.linear import LinearInteractionModel
+from repro.models.rbf import RBFNetwork, build_rbf_from_tree, search_rbf_model
+from repro.models.selection import aic, aicc, bic
+from repro.models.tree import RegressionTree, TreeNode
+
+__all__ = [
+    "Model",
+    "MLPModel",
+    "SplineModel",
+    "LinearInteractionModel",
+    "RBFNetwork",
+    "build_rbf_from_tree",
+    "search_rbf_model",
+    "aic",
+    "aicc",
+    "bic",
+    "RegressionTree",
+    "TreeNode",
+]

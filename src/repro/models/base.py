@@ -1,0 +1,35 @@
+"""Common interface for empirical performance models.
+
+All models operate on *unit-cube* design coordinates produced by
+:meth:`repro.core.design_space.DesignSpace.encode`; the design space owns the
+physical-to-unit transformation (including the paper's log transforms for
+cache sizes), so models never see raw parameter values.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Model(abc.ABC):
+    """A fitted predictor mapping unit-cube design points to a response."""
+
+    @abc.abstractmethod
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Predict responses at ``(m, n)`` unit-cube points; returns ``(m,)``."""
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        return self.predict(points)
+
+    @staticmethod
+    def _as_points(points: np.ndarray, dimension: int) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.ndim != 2 or points.shape[1] != dimension:
+            raise ValueError(
+                f"expected points of shape (m, {dimension}), got {points.shape}"
+            )
+        return points

@@ -1,0 +1,130 @@
+"""Model serialization: save fitted models, reload them anywhere.
+
+A fitted model is the valuable artifact of the whole procedure — hundreds
+of simulations distilled into a few kilobytes.  This module round-trips
+the model families through plain JSON (no pickle, so files are portable,
+diffable and safe to load), with a format version and the design-space
+parameter names recorded for sanity checks at load time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.models.linear import LinearInteractionModel, Term
+from repro.models.mlp import MLPModel
+from repro.models.rbf import RBFNetwork
+from repro.models.spline import Hinge, SplineModel, SplineTerm
+
+FORMAT_VERSION = 1
+
+AnyModel = Union[RBFNetwork, LinearInteractionModel, SplineModel, MLPModel]
+
+
+def _encode(model: AnyModel) -> dict:
+    if isinstance(model, RBFNetwork):
+        return {
+            "family": "rbf",
+            "centers": model.centers.tolist(),
+            "radii": model.radii.tolist(),
+            "weights": model.weights.tolist(),
+        }
+    if isinstance(model, LinearInteractionModel):
+        return {
+            "family": "linear",
+            "dimension": model.dimension,
+            "terms": [list(t.dims) for t in model.terms],
+            "coefficients": model.coefficients.tolist(),
+        }
+    if isinstance(model, SplineModel):
+        return {
+            "family": "spline",
+            "dimension": model.dimension,
+            "terms": [
+                [[h.dimension, h.knot, h.sign] for h in t.hinges]
+                for t in model.terms
+            ],
+            "coefficients": model.coefficients.tolist(),
+        }
+    if isinstance(model, MLPModel):
+        return {
+            "family": "mlp",
+            "dimension": model.dimension,
+            "weights": [w.tolist() for w in model.weights],
+            "biases": [b.tolist() for b in model.biases],
+            "y_mean": model.y_mean,
+            "y_std": model.y_std,
+        }
+    raise TypeError(f"cannot serialise model of type {type(model).__name__}")
+
+
+def _decode(payload: dict) -> AnyModel:
+    family = payload.get("family")
+    if family == "rbf":
+        return RBFNetwork(
+            np.array(payload["centers"]),
+            np.array(payload["radii"]),
+            np.array(payload["weights"]),
+        )
+    if family == "linear":
+        terms = [Term(tuple(dims)) for dims in payload["terms"]]
+        return LinearInteractionModel(
+            terms, np.array(payload["coefficients"]), payload["dimension"]
+        )
+    if family == "spline":
+        terms = [
+            SplineTerm(tuple(Hinge(int(d), float(k), int(s)) for d, k, s in hinges))
+            for hinges in payload["terms"]
+        ]
+        return SplineModel(terms, np.array(payload["coefficients"]),
+                           payload["dimension"])
+    if family == "mlp":
+        return MLPModel(
+            [np.array(w) for w in payload["weights"]],
+            [np.array(b) for b in payload["biases"]],
+            payload["y_mean"],
+            payload["y_std"],
+            payload["dimension"],
+        )
+    raise ValueError(f"unknown model family {family!r}")
+
+
+def save_model(
+    model: AnyModel,
+    path: Union[str, Path],
+    parameter_names: Optional[List[str]] = None,
+    metadata: Optional[dict] = None,
+) -> Path:
+    """Write ``model`` to ``path`` as JSON.
+
+    ``parameter_names`` (the design space's ordering) and free-form
+    ``metadata`` (benchmark, sample size, error report...) are stored
+    alongside and returned by :func:`load_model`.
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "parameter_names": parameter_names,
+        "metadata": metadata or {},
+        "model": _encode(model),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_model(path: Union[str, Path]):
+    """Load a model saved by :func:`save_model`.
+
+    Returns ``(model, parameter_names, metadata)``.  Raises ``ValueError``
+    on unknown format versions or families rather than guessing.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model file version {version!r}")
+    model = _decode(payload["model"])
+    return model, payload.get("parameter_names"), payload.get("metadata", {})

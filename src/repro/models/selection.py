@@ -1,0 +1,62 @@
+"""Model selection criteria (paper Eq. 9 and classic alternatives).
+
+These criteria trade goodness-of-fit against model complexity; the RBF center
+subset and the linear model's variable subset are both chosen to minimise a
+criterion.  The paper uses corrected Akaike (AICc); AIC and BIC are provided
+for the selection-criterion ablation.
+
+All criteria are computed up to an additive constant (the paper's
+"+ constant"), which cancels in comparisons between models fitted on the
+same sample.
+"""
+
+from __future__ import annotations
+
+import math
+
+_EPS = 1e-300  # guards log(0) when a model interpolates the sample exactly
+
+
+def _sigma2(sse: float, p: int) -> float:
+    return max(sse / p, _EPS)
+
+
+def aic(p: int, sse: float, m: int) -> float:
+    """Akaike information criterion: ``p log(sse/p) + 2 m``."""
+    if p <= 0:
+        raise ValueError("sample size must be positive")
+    return p * math.log(_sigma2(sse, p)) + 2.0 * m
+
+
+def aicc(p: int, sse: float, m: int) -> float:
+    """Corrected AIC (paper Eq. 9).
+
+    .. math:: AIC_c = p \\log(\\hat\\sigma^2) + 2m + \\frac{2m(m+1)}{p - m - 1}
+
+    Returns ``+inf`` when the correction denominator is non-positive
+    (``m >= p - 1``), which also prevents the selection from growing models
+    past the point where the criterion is defined.
+    """
+    if p <= 0:
+        raise ValueError("sample size must be positive")
+    if m >= p - 1:
+        return math.inf
+    return p * math.log(_sigma2(sse, p)) + 2.0 * m + 2.0 * m * (m + 1) / (p - m - 1)
+
+
+def bic(p: int, sse: float, m: int) -> float:
+    """Bayesian information criterion: ``p log(sse/p) + m log(p)``."""
+    if p <= 0:
+        raise ValueError("sample size must be positive")
+    return p * math.log(_sigma2(sse, p)) + m * math.log(p)
+
+
+CRITERIA = {"aic": aic, "aicc": aicc, "bic": bic}
+
+
+def get_criterion(name: str):
+    """Look up a criterion function by name (``aic``, ``aicc`` or ``bic``)."""
+    try:
+        return CRITERIA[name]
+    except KeyError:
+        raise ValueError(f"unknown criterion {name!r}; choose from {sorted(CRITERIA)}")

@@ -1,0 +1,120 @@
+"""Adaptive (sequential) sampling — the paper's future-work extension.
+
+Section 6 of the paper suggests that *"the simulation costs involved in
+constructing predictive models can potentially be reduced using adaptive
+sampling, wherein sets of design points to simulate are selected based on
+data from initial small samples"*.
+
+This module implements a simple, deterministic version of that idea:
+
+1. start from a small discrepancy-optimised LHS seed sample;
+2. fit two half-sample models (a jackknife split) and score a large random
+   candidate pool by *model disagreement* — the absolute difference between
+   the two half-models' predictions, a cheap proxy for predictive variance;
+3. weight disagreement by the distance to the nearest already-simulated
+   point (so batches stay space-filling) and add the top-scoring batch;
+4. repeat until the budget is exhausted.
+
+The model builder is injected, so the scheme works with any
+:class:`repro.models.base.Model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace
+from repro.sampling.optimizer import best_lhs_sample
+from repro.util.rng import make_rng
+
+#: Builds a fitted predictor from (unit-cube X, responses y); returns a
+#: callable mapping (m, n) points to (m,) predictions.
+ModelBuilder = Callable[[np.ndarray, np.ndarray], Callable[[np.ndarray], np.ndarray]]
+
+#: Evaluates the true response (i.e. runs the simulator) at unit-cube points.
+ResponseFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive sampling run."""
+
+    points: np.ndarray  # (p, n) all simulated unit-cube points, in order
+    responses: np.ndarray  # (p,)
+    batch_sizes: List[int] = field(default_factory=list)
+
+
+def adaptive_sample(
+    space: DesignSpace,
+    response_fn: ResponseFn,
+    model_builder: ModelBuilder,
+    budget: int,
+    seed: int,
+    initial: int = 20,
+    batch: int = 10,
+    pool: int = 512,
+) -> AdaptiveResult:
+    """Adaptively select and evaluate up to ``budget`` design points.
+
+    Parameters
+    ----------
+    space:
+        Design space sampled over.
+    response_fn:
+        Maps ``(m, n)`` unit-cube points to ``(m,)`` responses (simulation).
+    model_builder:
+        Fits a surrogate from the points gathered so far.
+    budget:
+        Total number of evaluated points (including the initial sample).
+    seed:
+        Root seed.
+    initial:
+        Size of the seed LHS sample.
+    batch:
+        Points added per adaptive round.
+    pool:
+        Size of the random candidate pool scored each round.
+    """
+    if budget < initial:
+        raise ValueError("budget must be at least the initial sample size")
+    seed_sample = best_lhs_sample(space, initial, seed, candidates=16)
+    points = seed_sample.points
+    responses = np.asarray(response_fn(points), dtype=float)
+    batches = [initial]
+
+    round_idx = 0
+    while len(points) < budget:
+        round_idx += 1
+        take = min(batch, budget - len(points))
+        rng = make_rng(seed, "adaptive-pool", round_idx)
+        candidates = space.random_unit_points(pool, rng)
+
+        # Jackknife split: interleave so both halves cover the space.
+        half_a = model_builder(points[0::2], responses[0::2])
+        half_b = model_builder(points[1::2], responses[1::2])
+        disagreement = np.abs(half_a(candidates) - half_b(candidates))
+
+        # Distance to the nearest simulated point keeps batches spread out.
+        dists = np.sqrt(
+            ((candidates[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+        ).min(axis=1)
+        score = disagreement * dists
+
+        chosen: List[int] = []
+        for _ in range(take):
+            idx = int(np.argmax(score))
+            chosen.append(idx)
+            # Penalise candidates close to the one just picked.
+            d_new = np.sqrt(((candidates - candidates[idx]) ** 2).sum(axis=1))
+            score = np.minimum(score, score * (d_new / (d_new.max() or 1.0)))
+            score[idx] = -np.inf
+        new_points = candidates[chosen]
+        new_responses = np.asarray(response_fn(new_points), dtype=float)
+        points = np.vstack([points, new_points])
+        responses = np.concatenate([responses, new_responses])
+        batches.append(take)
+
+    return AdaptiveResult(points=points, responses=responses, batch_sizes=batches)

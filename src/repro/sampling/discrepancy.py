@@ -1,0 +1,79 @@
+"""Space-filling (discrepancy) measures for design samples.
+
+The paper quantifies how well a sample covers the design space with the
+L2-star discrepancy, analytically derived in Hickernell (1998): the L2 norm
+of the deviation between the sample's empirical distribution and the uniform
+distribution over the unit cube.  Lower is better.
+
+Two standard closed forms are provided, both O(p^2 * n):
+
+* :func:`star_l2_discrepancy` — the classic L2-star discrepancy
+  (Warnock's formula), anchored at the origin;
+* :func:`centered_l2_discrepancy` — Hickernell's centered L2 discrepancy
+  (CD2), which is invariant to reflections of the sample about the center
+  of the cube and is the variant commonly used for comparing latin
+  hypercube designs (Fang et al. 2002).
+
+The sample-selection optimizer uses CD2 by default; the experiments refer to
+it as "the L2-star discrepancy" exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_unit_sample(points: np.ndarray) -> np.ndarray:
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if points.ndim != 2:
+        raise ValueError("sample must be a 2-D array of shape (p, n)")
+    if points.size == 0:
+        raise ValueError("sample must be non-empty")
+    if np.any(points < -1e-12) or np.any(points > 1 + 1e-12):
+        raise ValueError("sample points must lie in the unit cube [0, 1]^n")
+    return np.clip(points, 0.0, 1.0)
+
+
+def star_l2_discrepancy(points: np.ndarray) -> float:
+    """L2-star discrepancy of a unit-cube sample (Warnock's formula).
+
+    .. math::
+
+        D_2^*(P)^2 = 3^{-n}
+            - \\frac{2^{1-n}}{p} \\sum_i \\prod_k (1 - x_{ik}^2)
+            + \\frac{1}{p^2} \\sum_{i,j} \\prod_k (1 - \\max(x_{ik}, x_{jk}))
+    """
+    x = _check_unit_sample(points)
+    p, n = x.shape
+    term1 = 3.0 ** (-n)
+    term2 = (2.0 ** (1 - n) / p) * np.prod(1.0 - x**2, axis=1).sum()
+    cross = np.prod(1.0 - np.maximum(x[:, None, :], x[None, :, :]), axis=2)
+    term3 = cross.sum() / p**2
+    return float(np.sqrt(max(term1 - term2 + term3, 0.0)))
+
+
+def centered_l2_discrepancy(points: np.ndarray) -> float:
+    """Hickernell's centered L2 discrepancy (CD2) of a unit-cube sample.
+
+    .. math::
+
+        CD_2(P)^2 = (13/12)^n
+            - \\frac{2}{p} \\sum_i \\prod_k
+                \\left(1 + \\tfrac12 |x_{ik} - \\tfrac12|
+                        - \\tfrac12 |x_{ik} - \\tfrac12|^2\\right)
+            + \\frac{1}{p^2} \\sum_{i,j} \\prod_k
+                \\left(1 + \\tfrac12 |x_{ik} - \\tfrac12|
+                        + \\tfrac12 |x_{jk} - \\tfrac12|
+                        - \\tfrac12 |x_{ik} - x_{jk}|\\right)
+    """
+    x = _check_unit_sample(points)
+    p, n = x.shape
+    d = np.abs(x - 0.5)
+    term1 = (13.0 / 12.0) ** n
+    term2 = (2.0 / p) * np.prod(1.0 + 0.5 * d - 0.5 * d**2, axis=1).sum()
+    di = d[:, None, :]
+    dj = d[None, :, :]
+    dij = np.abs(x[:, None, :] - x[None, :, :])
+    cross = np.prod(1.0 + 0.5 * di + 0.5 * dj - 0.5 * dij, axis=2)
+    term3 = cross.sum() / p**2
+    return float(np.sqrt(max(term1 - term2 + term3, 0.0)))

@@ -1,0 +1,86 @@
+"""Halton low-discrepancy sequences (a quasi-Monte-Carlo alternative).
+
+The paper selects samples by generating many latin hypercubes and keeping
+the best by discrepancy.  A natural question — explored by the sampling
+ablation — is whether a deterministic low-discrepancy sequence does as
+well without the generate-and-test loop.  This module implements the
+Halton sequence with optional random digit scrambling (Owen-style
+per-digit permutations), which repairs the correlation artifacts plain
+Halton exhibits in higher dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+#: First 25 primes — enough bases for any space in this library.
+_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+    53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+)
+
+
+def _radical_inverse(index: int, base: int, perm: Optional[np.ndarray]) -> float:
+    """Van der Corput radical inverse of ``index`` in ``base``.
+
+    With ``perm`` given, every digit is mapped through the permutation
+    (the same permutation at every level — the classic scrambling of
+    Braaten & Weller).
+    """
+    result = 0.0
+    factor = 1.0 / base
+    while index > 0:
+        digit = index % base
+        if perm is not None:
+            digit = int(perm[digit])
+        result += digit * factor
+        index //= base
+        factor /= base
+    return result
+
+
+def halton(
+    count: int,
+    dimension: int,
+    scramble: bool = True,
+    seed: int = 0,
+    skip: int = 20,
+) -> np.ndarray:
+    """Generate ``count`` Halton points in ``[0, 1]^dimension``.
+
+    Parameters
+    ----------
+    count, dimension:
+        Sample shape; ``dimension`` is limited by the prime table (25).
+    scramble:
+        Apply per-dimension random digit permutations (recommended beyond
+        ~6 dimensions; the zero digit stays fixed so 0 maps to 0).
+    seed:
+        Scrambling seed (ignored when ``scramble`` is False).
+    skip:
+        Leading sequence elements to drop (the first few Halton points
+        cluster near the origin).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 1 <= dimension <= len(_PRIMES):
+        raise ValueError(f"dimension must be in [1, {len(_PRIMES)}]")
+    perms: List[Optional[np.ndarray]] = []
+    rng = make_rng(seed, "halton-scramble", dimension)
+    for k in range(dimension):
+        base = _PRIMES[k]
+        if scramble:
+            perm = np.concatenate([[0], rng.permutation(np.arange(1, base))])
+            perms.append(perm)
+        else:
+            perms.append(None)
+    points = np.empty((count, dimension))
+    for i in range(count):
+        idx = i + 1 + skip
+        for k in range(dimension):
+            points[i, k] = _radical_inverse(idx, _PRIMES[k], perms[k])
+    return points

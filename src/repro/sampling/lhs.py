@@ -1,0 +1,97 @@
+"""Latin hypercube sampling, in the paper's variant.
+
+The paper (Sec. 2.2) uses a variant of latin hypercube sampling [McKay et
+al. 1979] in which *"the sample is ensured to have points corresponding to
+all settings of a parameter, and the settings of each of the parameters are
+randomly combined"*.  Two cases arise:
+
+* parameters whose level count depends on the sample size (the *S* entries
+  in Table 1, e.g. ROB size): classic LHS — one point per stratum of ``p``
+  equal strata;
+* parameters with a fixed, small number of levels ``L`` (e.g. the 6 L2
+  sizes): every level appears either ``floor(p / L)`` or ``ceil(p / L)``
+  times, and the assignment of levels to points is a random permutation, so
+  all settings are covered as evenly as possible.
+
+Points are produced in the unit cube; callers snap them to physical values
+with :meth:`repro.core.design_space.DesignSpace.decode`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace
+
+
+def lhs_levels(count: int, levels: int, rng: np.random.Generator) -> np.ndarray:
+    """Random balanced assignment of ``levels`` settings to ``count`` points.
+
+    Returns unit-cube coordinates (level centers on an even ``levels``-point
+    grid over [0, 1]).  Every level appears ``count // levels`` or
+    ``count // levels + 1`` times.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if levels == 1:
+        return np.full(count, 0.5)
+    reps = -(-count // levels)  # ceil
+    assigned = np.tile(np.arange(levels), reps)[:count]
+    rng.shuffle(assigned)
+    return assigned / (levels - 1)
+
+
+def _lhs_column(count: int, rng: np.random.Generator, jitter: bool) -> np.ndarray:
+    """Classic one-point-per-stratum LHS column in [0, 1]."""
+    strata = rng.permutation(count)
+    offset = rng.random(count) if jitter else np.full(count, 0.5)
+    return (strata + offset) / count
+
+
+def latin_hypercube(
+    space: DesignSpace,
+    count: int,
+    rng: np.random.Generator,
+    jitter: bool = True,
+    num_levels: Optional[int] = None,
+) -> np.ndarray:
+    """Draw one latin hypercube sample over ``space``.
+
+    Parameters
+    ----------
+    space:
+        Design space; parameters with a fixed ``levels`` attribute use the
+        balanced level assignment, *S* parameters use classic LHS strata.
+    count:
+        Sample size ``p``.
+    rng:
+        Source of randomness.
+    jitter:
+        For *S* parameters, whether to jitter within each stratum (classic
+        LHS) or use stratum centers.
+    num_levels:
+        Level count used when snapping *S* parameters onto a grid; defaults
+        to ``count`` (the paper's sample-size dependent levels).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count, n)`` unit-cube sample.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    cols = []
+    for param in space.parameters:
+        if param.levels is not None:
+            cols.append(lhs_levels(count, param.levels, rng))
+        else:
+            col = _lhs_column(count, rng, jitter)
+            levels = num_levels if num_levels is not None else count
+            if levels >= 2:
+                col = np.round(col * (levels - 1)) / (levels - 1)
+            cols.append(col)
+    return np.column_stack(cols)

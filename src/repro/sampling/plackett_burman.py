@@ -1,0 +1,89 @@
+"""Plackett-Burman screening designs (related-work baseline).
+
+Yi et al. (HPCA 2005) — discussed in the paper's related work — screen
+microarchitectural parameters with foldover Plackett-Burman designs: two-level
+designs in which ``N`` runs estimate up to ``N - 1`` main effects.  They are
+implemented here so the experiments can contrast PB screening (which assumes
+negligible interactions) with the paper's LHS + RBF approach.
+
+Designs are returned as ``(N, k)`` arrays of +/-1 factor settings; use
+:func:`pb_to_unit` to map them onto unit-cube corners for a
+:class:`~repro.core.design_space.DesignSpace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# First rows of the cyclic Plackett-Burman constructions (Plackett & Burman,
+# 1946).  The remaining rows are cyclic shifts, plus a final all-minus row.
+_GENERATORS = {
+    12: "++-+++---+-",
+    20: "++--++++-+-+----++-",
+    24: "+++++-+-++--++--+-+----",
+}
+
+
+def _sylvester_hadamard(order: int) -> np.ndarray:
+    """Sylvester-construction Hadamard matrix for power-of-two orders."""
+    if order < 1 or order & (order - 1):
+        raise ValueError("Sylvester construction needs a power-of-two order")
+    h = np.array([[1]])
+    while h.shape[0] < order:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+def plackett_burman(factors: int) -> np.ndarray:
+    """Smallest Plackett-Burman design accommodating ``factors`` factors.
+
+    Parameters
+    ----------
+    factors:
+        Number of two-level factors to screen (columns).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N, factors)`` array of +/-1 settings with ``N`` a multiple of 4,
+        ``N > factors``.  Columns are mutually orthogonal.
+    """
+    if factors < 1:
+        raise ValueError("factors must be >= 1")
+    runs = 4 * (-(-(factors + 1) // 4))  # next multiple of 4 above `factors`
+    while True:
+        design = _build(runs)
+        if design is not None:
+            return design[:, :factors]
+        runs += 4
+        if runs > 64:
+            raise ValueError(f"no Plackett-Burman construction available for {factors} factors")
+
+
+def _build(runs: int) -> np.ndarray | None:
+    if runs in _GENERATORS:
+        row = np.array([1 if c == "+" else -1 for c in _GENERATORS[runs]])
+        k = runs - 1
+        rows = [np.roll(row, shift) for shift in range(k)]
+        design = np.vstack(rows + [-np.ones(k, dtype=int)])
+        return design.astype(int)
+    if runs >= 4 and runs & (runs - 1) == 0:  # power of two: Hadamard columns
+        h = _sylvester_hadamard(runs)
+        return h[:, 1:].astype(int)
+    return None
+
+
+def foldover(design: np.ndarray) -> np.ndarray:
+    """Foldover of a two-level design: append the sign-reversed runs.
+
+    Foldover de-aliases main effects from two-factor interactions, which is
+    how Yi et al. use it.
+    """
+    design = np.asarray(design)
+    return np.vstack([design, -design])
+
+
+def pb_to_unit(design: np.ndarray) -> np.ndarray:
+    """Map a +/-1 design onto unit-cube corners (0 for -1, 1 for +1)."""
+    design = np.asarray(design, dtype=float)
+    return (design + 1.0) / 2.0

@@ -1,0 +1,22 @@
+"""Independently random test designs.
+
+The paper estimates model accuracy on *"a randomly and independently
+generated set of test data points"* — fifty points drawn uniformly from the
+restricted Table 2 space.  This module provides that draw, plus plain random
+designs used as a sampling-strategy ablation baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace
+from repro.util.rng import make_rng
+
+
+def random_design(space: DesignSpace, count: int, seed: int) -> np.ndarray:
+    """Uniform random unit-cube design of ``count`` points over ``space``."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = make_rng(seed, "random-design", space.name, count)
+    return space.random_unit_points(count, rng)

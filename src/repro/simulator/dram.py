@@ -1,0 +1,67 @@
+"""DRAM device timing: banks, row buffers and bank busy time.
+
+Models the memory device behind the L2: a fixed number of banks, each with
+an open-row buffer.  A request to a bank whose row buffer holds the target
+row completes in the row-hit latency; otherwise it pays the full
+activate+access latency.  A bank can serve one request at a time, so
+back-to-back requests to the same bank queue behind each other — this is
+what makes memory-bound configurations feel pressure beyond raw latency.
+"""
+
+from __future__ import annotations
+
+#: Bytes covered by one DRAM row (per bank).
+ROW_SIZE = 4096
+
+
+class DRAM:
+    """Banked DRAM device with open-row policy.
+
+    Parameters
+    ----------
+    num_banks:
+        Number of independent banks (power of two preferred).
+    access_lat:
+        Row-miss (activate + column access) latency in CPU cycles.
+    row_hit_lat:
+        Row-hit (column access only) latency in CPU cycles.
+    """
+
+    __slots__ = ("num_banks", "access_lat", "row_hit_lat", "_bank_free", "_open_row",
+                 "accesses", "row_hits")
+
+    def __init__(self, num_banks: int = 8, access_lat: int = 120, row_hit_lat: int = 60):
+        if num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        if row_hit_lat > access_lat:
+            raise ValueError("row-hit latency cannot exceed row-miss latency")
+        self.num_banks = num_banks
+        self.access_lat = access_lat
+        self.row_hit_lat = row_hit_lat
+        self._bank_free = [0.0] * num_banks
+        self._open_row = [-1] * num_banks
+        self.accesses = 0
+        self.row_hits = 0
+
+    def access(self, addr: int, time: float) -> float:
+        """Issue a request at ``time``; returns its completion time."""
+        row = addr // ROW_SIZE
+        bank = row % self.num_banks
+        start = max(time, self._bank_free[bank])
+        if self._open_row[bank] == row:
+            lat = self.row_hit_lat
+            self.row_hits += 1
+        else:
+            lat = self.access_lat
+            self._open_row[bank] = row
+        done = start + lat
+        self._bank_free[bank] = done
+        self.accesses += 1
+        return done
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return f"DRAM({self.num_banks} banks, {self.access_lat}/{self.row_hit_lat} cyc)"

@@ -1,0 +1,74 @@
+"""Memory controller: request queuing and memory-bus contention.
+
+All L2 misses pass through the controller.  Two effects are modeled, both
+called out in the paper's simulator description ("queuing at the memory
+controller, and contention for the memory bus"):
+
+* a finite request queue — when it is full, new requests stall until an
+  older request's bus transfer begins;
+* a shared bus on which every cache-line transfer occupies a fixed number
+  of cycles, serialising transfers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.simulator.dram import DRAM
+
+
+class MemoryController:
+    """FIFO memory controller in front of a :class:`DRAM` device.
+
+    Parameters
+    ----------
+    dram:
+        The DRAM device serving requests.
+    bus_cycles:
+        Bus occupancy (cycles) per cache-line transfer.
+    queue_depth:
+        Maximum in-flight requests; extra requests see queuing delay.
+    """
+
+    __slots__ = ("dram", "bus_cycles", "queue_depth", "_bus_free", "_inflight",
+                 "requests", "total_queue_delay")
+
+    def __init__(self, dram: DRAM, bus_cycles: int = 8, queue_depth: int = 16):
+        if bus_cycles < 1:
+            raise ValueError("bus_cycles must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.dram = dram
+        self.bus_cycles = bus_cycles
+        self.queue_depth = queue_depth
+        self._bus_free = 0.0
+        self._inflight = deque()  # completion times of queued requests
+        self.requests = 0
+        self.total_queue_delay = 0.0
+
+    def access(self, addr: int, time: float) -> float:
+        """Issue a memory request at ``time``; returns data-return time."""
+        self.requests += 1
+        # Queue admission: wait for a slot if the queue is full.
+        inflight = self._inflight
+        while inflight and inflight[0] <= time:
+            inflight.popleft()
+        start = time
+        if len(inflight) >= self.queue_depth:
+            start = inflight[len(inflight) - self.queue_depth]
+        self.total_queue_delay += start - time
+
+        data_ready = self.dram.access(addr, start)
+        # The line then crosses the shared bus; transfers serialise.
+        bus_start = max(data_ready, self._bus_free)
+        done = bus_start + self.bus_cycles
+        self._bus_free = done
+        inflight.append(done)
+        return done
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_delay / self.requests if self.requests else 0.0
+
+    def __repr__(self) -> str:
+        return f"MemoryController(bus={self.bus_cycles} cyc, queue={self.queue_depth})"

@@ -1,0 +1,64 @@
+"""Simulation results: CPI plus the summary statistics used for validation.
+
+:class:`SimResult` is what a simulation run returns — the CPI response the
+models are trained on, together with the microarchitectural event rates
+(cache miss rates, branch misprediction rate, memory queuing) that the
+paper's methodology uses to cross-validate the simulator against an
+independent implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of simulating one trace on one configuration."""
+
+    cpi: float
+    cycles: float
+    instructions: int
+    il1_miss_rate: float = 0.0
+    dl1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    branch_mispredict_rate: float = 0.0
+    mean_memory_queue_delay: float = 0.0
+    dram_row_hit_rate: float = 0.0
+    store_forward_rate: float = 0.0
+    energy: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        if self.instructions and self.cpi <= 0:
+            raise ValueError("CPI must be positive for a non-empty run")
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (reciprocal of CPI)."""
+        return 1.0 / self.cpi if self.cpi else 0.0
+
+    @property
+    def power(self) -> float:
+        """Mean energy per cycle — the power proxy (extension metric)."""
+        return self.energy / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {
+            "cpi": self.cpi,
+            "cycles": self.cycles,
+            "instructions": float(self.instructions),
+            "il1_miss_rate": self.il1_miss_rate,
+            "dl1_miss_rate": self.dl1_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "branch_mispredict_rate": self.branch_mispredict_rate,
+            "mean_memory_queue_delay": self.mean_memory_queue_delay,
+            "dram_row_hit_rate": self.dram_row_hit_rate,
+            "store_forward_rate": self.store_forward_rate,
+            "energy": self.energy,
+        }
+        out.update(self.extra)
+        return out

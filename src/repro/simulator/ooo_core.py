@@ -1,0 +1,297 @@
+"""The out-of-order superscalar timing engine.
+
+For every trace instruction the engine computes five timestamps — fetch,
+dispatch, issue, completion, commit — under the full set of machine
+constraints:
+
+* **Fetch**: ``fetch_width`` instructions per cycle; an L1I line change
+  probes the instruction cache and a miss stalls fetch until the line
+  returns; a branch misprediction or BTB miss restarts fetch at the
+  branch's resolution time.
+* **Dispatch**: fetch plus the front-end depth (rename/decode stages, which
+  grow with the paper's ``pipe_depth`` parameter), gated by free ROB, issue
+  queue and LSQ entries — an entry frees when the instruction occupying it
+  issues (IQ) or commits (ROB, LSQ).
+* **Issue**: out of order, when both operands are complete and a functional
+  unit of the right class is free (dividers are unpipelined).
+* **Completion**: issue plus the op latency; loads walk the cache
+  hierarchy (D-L1, unified L2, memory controller, DRAM banks and bus) or
+  forward from an in-flight store in the LSQ window.
+* **Commit**: in order, ``commit_width`` per cycle; stores update the data
+  cache after commit.
+
+Mispredicted branches redirect the front end when they *resolve*
+(completion), so the misprediction penalty scales with both pipeline depth
+and the latency of the dependence chain feeding the branch — the key
+depth x window x memory interaction the paper's non-linear models capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.simulator import isa
+from repro.simulator.branch import (
+    PREDICT_BTB_MISS,
+    PREDICT_MISPREDICT,
+    PREDICT_OK,
+    BranchUnit,
+)
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.hierarchy import MemoryHierarchy
+from repro.simulator.metrics import SimResult
+from repro.simulator.power import estimate_energy
+from repro.simulator.resources import ResourceSet
+from repro.simulator.trace import Trace
+
+
+@dataclass
+class Timeline:
+    """Per-instruction timestamps (collected on request, mostly for tests)."""
+
+    fetch: List[float]
+    dispatch: List[float]
+    issue: List[float]
+    complete: List[float]
+    commit: List[float]
+
+
+class OutOfOrderCore:
+    """One simulated processor instance (single use per trace run)."""
+
+    def __init__(self, config: ProcessorConfig):
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch_unit = BranchUnit(config)
+        self.resources = ResourceSet(config)
+        self.timeline: Optional[Timeline] = None
+        self.forwarded_loads = 0
+        self.load_count = 0
+
+    def _counters(self) -> dict:
+        """Raw event counters (snapshotted at the warmup boundary)."""
+        h = self.hierarchy
+        return {
+            "il1_acc": h.il1.accesses,
+            "il1_miss": h.il1.misses,
+            "dl1_acc": h.dl1.accesses,
+            "dl1_miss": h.dl1.misses,
+            "l2_acc": h.l2.accesses,
+            "l2_miss": h.l2.misses,
+            "mem_req": h.memctrl.requests,
+            "queue_delay": h.memctrl.total_queue_delay,
+            "dram_acc": h.dram.accesses,
+            "dram_rowhit": h.dram.row_hits,
+            "branches": self.branch_unit.conditional,
+            "mispredicts": self.branch_unit.mispredicted,
+            "loads": self.load_count,
+            "forwarded": self.forwarded_loads,
+        }
+
+    def run(
+        self,
+        trace: Trace,
+        collect_timeline: bool = False,
+        warmup: Optional[int] = None,
+    ) -> SimResult:
+        """Simulate ``trace`` to completion and return the results.
+
+        Parameters
+        ----------
+        trace:
+            The instruction trace.
+        collect_timeline:
+            Record per-instruction timestamps in :attr:`timeline`.
+        warmup:
+            Number of leading instructions excluded from the reported CPI
+            and event rates (caches and predictors warm during them).
+            Defaults to one eighth of the trace; pass 0 to measure from a
+            cold machine.
+        """
+        n = len(trace)
+        if n == 0:
+            return SimResult(cpi=0.0, cycles=0.0, instructions=0)
+        if warmup is None:
+            warmup = n // 8
+        if warmup >= n:
+            raise ValueError("warmup must leave at least one measured instruction")
+
+        cfg = self.config
+        hier = self.hierarchy
+        bru = self.branch_unit
+        fus = self.resources
+
+        fetch_width = cfg.fetch_width
+        commit_width = cfg.commit_width
+        perfect_bpred = cfg.perfect_branch_prediction
+        perfect_dcache = cfg.perfect_dcache
+        perfect_icache = cfg.perfect_icache
+        dl1_lat = float(cfg.dl1_lat)
+        front = cfg.front_depth
+        rob = cfg.rob_size
+        iq = cfg.iq_size
+        lsq = cfg.lsq_size
+        line_bits = hier.il1.line_bits
+        op_timing = isa.OP_TIMING
+        load_op, store_op = isa.LOAD, isa.STORE
+        branch_op, jump_op = isa.BRANCH, isa.JUMP
+
+        complete = [0.0] * n
+        commit = [0.0] * n
+        issue_at = [0.0] * n
+        mem_commit: List[float] = []  # commit times of memory ops, in order
+        store_buf = {}  # addr -> (mem index, data-ready time)
+        mem_count = 0
+
+        fetch_cycle = 0.0
+        slots = 0
+        cur_line = -1
+        warm_counters = self._counters() if warmup == 0 else None
+        warm_commit = 0.0
+
+        if collect_timeline:
+            tl = Timeline([], [], [], [], [])
+
+        for i, (op, s1, s2, addr, pc, taken) in enumerate(trace.rows()):
+            # ---- fetch -------------------------------------------------
+            if slots >= fetch_width:
+                fetch_cycle += 1.0
+                slots = 0
+            line = pc >> line_bits
+            if line != cur_line:
+                cur_line = line
+                if not perfect_icache:
+                    ready = hier.fetch(pc, fetch_cycle)
+                    if ready > fetch_cycle:
+                        fetch_cycle = ready
+                        slots = 0
+            fetch_time = fetch_cycle
+            slots += 1
+
+            # ---- dispatch (ROB / IQ / LSQ allocation) ----------------------
+            dispatch = fetch_time + front
+            if i >= rob:
+                t = commit[i - rob] + 1.0
+                if t > dispatch:
+                    dispatch = t
+            if i >= iq:
+                t = issue_at[i - iq] + 1.0
+                if t > dispatch:
+                    dispatch = t
+            is_mem = op == load_op or op == store_op
+            if is_mem and mem_count >= lsq:
+                t = mem_commit[mem_count - lsq] + 1.0
+                if t > dispatch:
+                    dispatch = t
+
+            # ---- issue (operands + functional unit) -----------------------
+            issue = dispatch + 1.0
+            if s1:
+                t = complete[i - s1]
+                if t > issue:
+                    issue = t
+            if s2:
+                t = complete[i - s2]
+                if t > issue:
+                    issue = t
+            start = fus.request(op, issue)
+            issue_at[i] = start
+
+            # ---- execute ----------------------------------------------------
+            if op == load_op:
+                self.load_count += 1
+                fwd = store_buf.get(addr)
+                if perfect_dcache:
+                    comp = start + dl1_lat
+                elif fwd is not None and mem_count - fwd[0] <= lsq:
+                    # Store-to-load forwarding within the LSQ window.
+                    comp = (start if start >= fwd[1] else fwd[1]) + 1.0
+                    self.forwarded_loads += 1
+                else:
+                    comp = hier.load(addr, start, pc)
+            elif op == store_op:
+                comp = start + 1.0  # address generation; data drains post-commit
+                store_buf[addr] = (mem_count, comp)
+                if len(store_buf) > 4 * lsq + 64:
+                    floor = mem_count - lsq
+                    store_buf = {a: v for a, v in store_buf.items() if v[0] >= floor}
+            else:
+                comp = start + op_timing[op][0]
+            complete[i] = comp
+
+            # ---- control resolution -------------------------------------
+            if op == branch_op or op == jump_op:
+                outcome = bru.predict(pc, taken, op == branch_op)
+                if perfect_bpred:
+                    outcome = PREDICT_OK  # oracle front end: never redirect
+                if outcome == PREDICT_MISPREDICT:
+                    # Redirect: fetch restarts when the branch resolves.
+                    if comp > fetch_cycle:
+                        fetch_cycle = comp
+                    slots = 0
+                    cur_line = -1
+                elif outcome == PREDICT_BTB_MISS:
+                    # Target computed in the front end: short fetch bubble.
+                    fetch_cycle = fetch_time + 2.0
+                    slots = 0
+                    cur_line = -1
+
+            # ---- commit (in order, width-limited) -----------------------
+            c = comp + 1.0
+            if i > 0 and commit[i - 1] > c:
+                c = commit[i - 1]
+            if i >= commit_width and commit[i - commit_width] + 1.0 > c:
+                c = commit[i - commit_width] + 1.0
+            commit[i] = c
+            if is_mem:
+                mem_commit.append(c)
+                mem_count += 1
+            if op == store_op and not perfect_dcache:
+                hier.store(addr, c, pc)
+
+            if i + 1 == warmup:
+                warm_counters = self._counters()
+                warm_commit = c
+
+            if collect_timeline:
+                tl.fetch.append(fetch_time)
+                tl.dispatch.append(dispatch)
+                tl.issue.append(start)
+                tl.complete.append(comp)
+                tl.commit.append(c)
+
+        if collect_timeline:
+            self.timeline = tl
+
+        # Measured region: everything after the warmup boundary.
+        assert warm_counters is not None
+        end = self._counters()
+        delta = {k: end[k] - warm_counters[k] for k in end}
+        measured_instr = n - warmup
+        cycles = commit[-1] + 1.0 - warm_commit
+
+        def rate(num: str, den: str) -> float:
+            return delta[num] / delta[den] if delta[den] else 0.0
+
+        full_stats = hier.stats()
+        energy = estimate_energy(cfg, n, commit[-1] + 1.0, full_stats, bru.conditional)
+        return SimResult(
+            cpi=cycles / measured_instr,
+            cycles=cycles,
+            instructions=measured_instr,
+            il1_miss_rate=rate("il1_miss", "il1_acc"),
+            dl1_miss_rate=rate("dl1_miss", "dl1_acc"),
+            l2_miss_rate=rate("l2_miss", "l2_acc"),
+            branch_mispredict_rate=rate("mispredicts", "branches"),
+            mean_memory_queue_delay=rate("queue_delay", "mem_req"),
+            dram_row_hit_rate=rate("dram_rowhit", "dram_acc"),
+            store_forward_rate=rate("forwarded", "loads"),
+            energy=energy,
+            extra={
+                "il1_accesses": float(delta["il1_acc"]),
+                "dl1_accesses": float(delta["dl1_acc"]),
+                "l2_accesses": float(delta["l2_acc"]),
+                "memory_requests": float(delta["mem_req"]),
+            },
+        )

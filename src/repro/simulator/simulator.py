@@ -1,0 +1,51 @@
+"""Simulator facade: the one-call entry point used by the modeling stack."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.design_space import DesignSpace
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.metrics import SimResult
+from repro.simulator.ooo_core import OutOfOrderCore
+from repro.simulator.trace import Trace
+
+
+class Simulator:
+    """Detailed superscalar processor simulator.
+
+    A thin facade over :class:`~repro.simulator.ooo_core.OutOfOrderCore`
+    that creates a fresh machine per run (simulations are independent, as in
+    the paper — each design point is a separate complete run).
+    """
+
+    def __init__(self, config: ProcessorConfig):
+        self.config = config
+
+    def run(self, trace: Trace, collect_timeline: bool = False) -> SimResult:
+        """Simulate ``trace`` to completion on this configuration."""
+        core = OutOfOrderCore(self.config)
+        result = core.run(trace, collect_timeline=collect_timeline)
+        self.last_core = core
+        return result
+
+
+def simulate(config: ProcessorConfig, trace: Trace) -> SimResult:
+    """Convenience wrapper: one simulation run, fresh machine state."""
+    return Simulator(config).run(trace)
+
+
+def simulate_design_point(
+    space: DesignSpace,
+    point: Mapping[str, float],
+    trace: Trace,
+    fixed: Optional[Mapping[str, int]] = None,
+) -> SimResult:
+    """Simulate at a *physical* design point of ``space``.
+
+    Resolves fraction parameters (IQ/LSQ sizes) and constructs the
+    processor configuration before running.
+    """
+    resolved = space.resolve(dict(point))
+    config = ProcessorConfig.from_design_point(resolved, **(dict(fixed) if fixed else {}))
+    return simulate(config, trace)

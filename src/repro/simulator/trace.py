@@ -1,0 +1,132 @@
+"""Instruction-trace representation.
+
+A :class:`Trace` is a struct-of-arrays record of a dynamic instruction
+stream: operation class, up to two register dependences (encoded as backward
+distances in the stream, the natural form for trace-driven timing), memory
+address for loads/stores, PC, and resolved direction for control ops.
+
+The paper drove its simulator with traces of PowerPC SPEC CPU2000
+executions; here traces come from the synthetic generators in
+:mod:`repro.workloads` (see DESIGN.md for the substitution rationale), but
+the simulator is agnostic to their origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.simulator import isa
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction trace (struct of arrays).
+
+    Attributes
+    ----------
+    op:
+        ``(n,)`` int8 operation classes (:mod:`repro.simulator.isa` codes).
+    src1, src2:
+        ``(n,)`` int32 backward dependence distances; 0 means "no operand".
+        A value ``d > 0`` at position ``i`` means instruction ``i`` reads
+        the result of instruction ``i - d``.
+    addr:
+        ``(n,)`` int64 effective addresses (0 for non-memory ops).
+    pc:
+        ``(n,)`` int64 instruction addresses.
+    taken:
+        ``(n,)`` bool resolved directions (False for non-control ops).
+    name:
+        Label (benchmark name) used in reports and cache keys.
+    """
+
+    op: np.ndarray
+    src1: np.ndarray
+    src2: np.ndarray
+    addr: np.ndarray
+    pc: np.ndarray
+    taken: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        n = len(self.op)
+        for field_name in ("src1", "src2", "addr", "pc", "taken"):
+            arr = getattr(self, field_name)
+            if len(arr) != n:
+                raise ValueError(f"{field_name} length {len(arr)} != op length {n}")
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on violation."""
+        n = len(self)
+        idx = np.arange(n)
+        for name_, arr in (("src1", self.src1), ("src2", self.src2)):
+            if np.any(arr < 0):
+                raise ValueError(f"{name_} distances must be non-negative")
+            bad = arr > idx
+            if np.any(bad):
+                raise ValueError(
+                    f"{name_} reaches before the start of the trace at "
+                    f"positions {np.nonzero(bad)[0][:5]}"
+                )
+        mem_mask = (self.op == isa.LOAD) | (self.op == isa.STORE)
+        if np.any(self.addr[mem_mask] <= 0):
+            raise ValueError("memory ops must carry positive addresses")
+        ctl_mask = (self.op == isa.BRANCH) | (self.op == isa.JUMP)
+        if np.any(self.taken[~ctl_mask]):
+            raise ValueError("only control ops may be taken")
+        if np.any(self.op == isa.JUMP) and not np.all(self.taken[self.op == isa.JUMP]):
+            raise ValueError("unconditional jumps must be taken")
+
+    def mix(self) -> dict:
+        """Fraction of each op class present in the trace."""
+        n = len(self) or 1
+        counts = np.bincount(self.op, minlength=isa.NUM_OP_CLASSES)
+        return {isa.op_name(code): counts[code] / n for code in range(isa.NUM_OP_CLASSES)}
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A structural sub-trace; dependence distances are clipped to fit."""
+        sl = slice(start, stop)
+        src1 = self.src1[sl].copy()
+        src2 = self.src2[sl].copy()
+        idx = np.arange(stop - start)
+        src1[src1 > idx] = 0
+        src2[src2 > idx] = 0
+        return Trace(
+            op=self.op[sl].copy(),
+            src1=src1,
+            src2=src2,
+            addr=self.addr[sl].copy(),
+            pc=self.pc[sl].copy(),
+            taken=self.taken[sl].copy(),
+            name=f"{self.name}[{start}:{stop}]",
+        )
+
+    def rows(self) -> Iterator[Tuple[int, int, int, int, int, bool]]:
+        """Iterate (op, src1, src2, addr, pc, taken) tuples."""
+        return zip(
+            self.op.tolist(),
+            self.src1.tolist(),
+            self.src2.tolist(),
+            self.addr.tolist(),
+            self.pc.tolist(),
+            self.taken.tolist(),
+        )
+
+
+def empty_trace(name: str = "empty") -> Trace:
+    """A zero-length trace (useful in tests)."""
+    return Trace(
+        op=np.zeros(0, dtype=np.int8),
+        src1=np.zeros(0, dtype=np.int32),
+        src2=np.zeros(0, dtype=np.int32),
+        addr=np.zeros(0, dtype=np.int64),
+        pc=np.zeros(0, dtype=np.int64),
+        taken=np.zeros(0, dtype=bool),
+        name=name,
+    )

@@ -1,0 +1,87 @@
+"""Cross-simulator trend validation (paper Sec. 3 methodology).
+
+The paper verified its simulator by validating *trends in the summary
+statistics* against an independently implemented simulator (alphasim) at
+several points in the design space.  :func:`validate_trends` automates the
+same check between the detailed engine and the reference model: sweep one
+parameter at a time, and verify that when the detailed simulator's CPI
+moves, the reference model's CPI moves in the same direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.refsim import ReferenceSimulator
+from repro.simulator.simulator import Simulator
+from repro.simulator.trace import Trace
+
+
+@dataclass
+class TrendReport:
+    """Agreement between two simulators along one parameter sweep."""
+
+    parameter: str
+    values: List[float]
+    detailed_cpi: List[float]
+    reference_cpi: List[float]
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of sweep steps where both CPIs move the same way.
+
+        Steps where the detailed CPI barely moves (< 0.5% relative) are
+        counted as agreeing — a flat response carries no directional
+        information.
+        """
+        d = np.diff(self.detailed_cpi)
+        r = np.diff(self.reference_cpi)
+        if len(d) == 0:
+            return 1.0
+        base = np.asarray(self.detailed_cpi[:-1])
+        flat = np.abs(d) < 0.005 * base
+        same = np.sign(d) == np.sign(r)
+        return float(np.mean(same | flat))
+
+
+def sweep_parameter(
+    space: DesignSpace,
+    base_point: Dict[str, float],
+    parameter: str,
+    values: Sequence[float],
+    trace: Trace,
+) -> TrendReport:
+    """Sweep one parameter, simulating with both engines at each value."""
+    detailed: List[float] = []
+    reference: List[float] = []
+    for value in values:
+        point = dict(base_point)
+        point[parameter] = value
+        resolved = space.resolve(point)
+        config = ProcessorConfig.from_design_point(resolved)
+        detailed.append(Simulator(config).run(trace).cpi)
+        reference.append(ReferenceSimulator(config).run(trace).cpi)
+    return TrendReport(
+        parameter=parameter,
+        values=list(values),
+        detailed_cpi=detailed,
+        reference_cpi=reference,
+    )
+
+
+def validate_trends(
+    space: DesignSpace,
+    base_point: Dict[str, float],
+    trace: Trace,
+    sweeps: Dict[str, Sequence[float]],
+) -> List[TrendReport]:
+    """Run all requested sweeps; see :class:`TrendReport` for scoring."""
+    return [
+        sweep_parameter(space, base_point, parameter, values, trace)
+        for parameter, values in sweeps.items()
+    ]

@@ -1,0 +1,25 @@
+"""Statistical simulation (related-work baseline; paper Sec. 5).
+
+The paper's related work discusses statistical simulation (Eeckhout et
+al., Oskin et al.'s HLS): profile a program's execution into statistics,
+generate a *short* synthetic trace from those statistics, and simulate the
+short trace — converging to a CPI estimate in far fewer instructions than
+the full program.
+
+This package implements that method from scratch so the experiments can
+compare it against the paper's approach: :mod:`profile` measures a trace
+into a :class:`~repro.statsim.profile.StatProfile`, :mod:`synthesize`
+regenerates a reduced synthetic trace from the statistics, and
+:mod:`estimate` wraps both into a per-configuration CPI estimator.
+"""
+
+from repro.statsim.estimate import StatisticalSimulator
+from repro.statsim.profile import StatProfile, profile_trace
+from repro.statsim.synthesize import synthesize_trace
+
+__all__ = [
+    "StatisticalSimulator",
+    "StatProfile",
+    "profile_trace",
+    "synthesize_trace",
+]

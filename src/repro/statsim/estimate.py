@@ -1,0 +1,72 @@
+"""CPI estimation via statistical simulation.
+
+Ties the profile and synthesizer together: profile the benchmark once,
+then estimate CPI at any configuration by simulating a *short* synthetic
+trace.  Per-query cost is one reduced simulation (vs the paper's approach,
+whose per-query cost after model construction is a dot product) — the
+trade-off the related-work experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.design_space import DesignSpace, paper_design_space
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.simulator import Simulator
+from repro.simulator.trace import Trace
+from repro.statsim.profile import StatProfile, profile_trace
+from repro.statsim.synthesize import synthesize_trace
+
+
+class StatisticalSimulator:
+    """Reduced-trace CPI estimator for one profiled benchmark.
+
+    Parameters
+    ----------
+    source:
+        Either a full :class:`Trace` (profiled on construction) or an
+        already-measured :class:`StatProfile`.
+    synthetic_length:
+        Length of the regenerated trace — the method's cost knob (the
+        related work's claim is that a few thousand instructions converge).
+    seed:
+        Synthesis seed.
+    space:
+        Design space for :meth:`cpi` point dictionaries (defaults to the
+        paper's space).
+    """
+
+    def __init__(
+        self,
+        source,
+        synthetic_length: int = 6000,
+        seed: int = 0,
+        space: Optional[DesignSpace] = None,
+    ):
+        if isinstance(source, Trace):
+            self.profile: StatProfile = profile_trace(source)
+        elif isinstance(source, StatProfile):
+            self.profile = source
+        else:
+            raise TypeError("source must be a Trace or a StatProfile")
+        self.synthetic_length = synthetic_length
+        self.space = space if space is not None else paper_design_space()
+        self.trace = synthesize_trace(self.profile, synthetic_length, seed)
+        self.simulations_run = 0
+
+    def cpi_config(self, config: ProcessorConfig) -> float:
+        """Estimate CPI at one processor configuration."""
+        self.simulations_run += 1
+        return Simulator(config).run(self.trace).cpi
+
+    def cpi(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised estimate at physical design points (runner-compatible)."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        out = np.empty(len(points))
+        for i, row in enumerate(points):
+            resolved = self.space.resolve(self.space.as_dict(row))
+            out[i] = self.cpi_config(ProcessorConfig.from_design_point(resolved))
+        return out

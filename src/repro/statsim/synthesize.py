@@ -1,0 +1,179 @@
+"""Synthetic-trace regeneration from a statistical profile.
+
+The inverse of :mod:`repro.statsim.profile`: draw a short instruction
+stream whose statistics match the measured ones.  Memory addresses are the
+interesting part — they are generated to *reproduce the measured
+reuse-distance distribution* by maintaining an LRU stack of synthetic
+lines and revisiting at sampled stack distances, so the synthetic trace
+exercises any cache hierarchy the way the original did (the core insight
+of statistical simulation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.simulator import isa
+from repro.simulator.trace import Trace
+from repro.statsim.profile import StatProfile
+from repro.util.rng import make_rng
+
+_CODE_BASE = 0x0060_0000
+_DATA_BASE = 0x4000_0000
+
+
+class _ReuseStack:
+    """LRU stack of synthetic data lines supporting distance-d revisits."""
+
+    def __init__(self):
+        self._stack: "OrderedDict[int, None]" = OrderedDict()
+        self._next_line = 0
+
+    def fresh(self) -> int:
+        line = self._next_line
+        self._next_line += 1
+        self._stack[line] = None
+        return line
+
+    def reuse(self, distance: int) -> int:
+        """Revisit the line at LRU-stack distance ``distance`` (clamped)."""
+        if not self._stack:
+            return self.fresh()
+        distance = min(distance, len(self._stack) - 1)
+        for i, line in enumerate(reversed(self._stack)):
+            if i == distance:
+                self._stack.move_to_end(line)
+                return line
+        # Unreachable given the clamp, but keep a safe fallback.
+        return self.fresh()
+
+
+def _sampler(pairs: List[Tuple[int, float]], rng: np.random.Generator):
+    values = np.array([v for v, _ in pairs])
+    probs = np.array([p for _, p in pairs], dtype=float)
+    probs = probs / probs.sum()
+
+    def draw() -> int:
+        return int(rng.choice(values, p=probs))
+
+    return draw
+
+
+def synthesize_trace(profile: StatProfile, length: int, seed: int = 0) -> Trace:
+    """Generate a ``length``-instruction synthetic trace from ``profile``."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rng = make_rng(seed, "statsim", profile.instructions, length)
+
+    draw_block_len = _sampler(profile.block_lengths, rng)
+    draw_dep = _sampler(profile.dep_distances, rng)
+    op_values = np.array(sorted(profile.op_mix))
+    op_probs = np.array([profile.op_mix[v] for v in op_values], dtype=float)
+    op_probs /= op_probs.sum()
+
+    # Static code layout sized like the original program.
+    mean_len = max(2, int(np.mean([v for v, _ in profile.block_lengths])))
+    num_blocks = max(1, profile.code_footprint_instrs // mean_len)
+    site_is_jump = rng.random(num_blocks) < profile.jump_frac_of_control
+    site_dominant = rng.random(num_blocks) < profile.taken_frac
+
+    reuse_bounds = [b for b, _ in profile.reuse_octaves]
+    reuse_probs = np.array([p for _, p in profile.reuse_octaves], dtype=float)
+    reuse_probs /= reuse_probs.sum()
+    stack = _ReuseStack()
+
+    # Generic dependence draws already land on loads at roughly the load
+    # share of the stream; only the *excess* chaining must be injected
+    # explicitly, or the synthetic trace over-serialises.
+    base_load_rate = float(profile.op_mix.get(isa.LOAD, 0.0))
+    excess_chain = max(
+        0.0,
+        (profile.load_load_dep_frac - base_load_rate) / max(1e-9, 1.0 - base_load_rate),
+    )
+
+    op_out = np.zeros(length, dtype=np.int8)
+    src1_out = np.zeros(length, dtype=np.int32)
+    src2_out = np.zeros(length, dtype=np.int32)
+    addr_out = np.zeros(length, dtype=np.int64)
+    pc_out = np.zeros(length, dtype=np.int64)
+    taken_out = np.zeros(length, dtype=bool)
+
+    i = 0
+    recent_loads: List[int] = []
+    while i < length:
+        b = int(rng.integers(num_blocks))
+        block_len = max(2, min(16, draw_block_len()))
+        base_pc = _CODE_BASE + (b * mean_len) * 4
+        for j in range(block_len):
+            if i >= length:
+                break
+            pc_out[i] = base_pc + 4 * j
+            is_last = j == block_len - 1
+            if is_last:
+                if site_is_jump[b]:
+                    op_out[i] = isa.JUMP
+                    taken_out[i] = True
+                else:
+                    op_out[i] = isa.BRANCH
+                    follows = rng.random() < profile.branch_bias
+                    taken_out[i] = bool(site_dominant[b]) == follows
+                d = draw_dep()
+                if 0 < d <= i:
+                    src1_out[i] = d
+            else:
+                op = int(rng.choice(op_values, p=op_probs))
+                op_out[i] = op
+                if op == isa.LOAD or op == isa.STORE:
+                    k = int(rng.choice(len(reuse_bounds), p=reuse_probs))
+                    bound = reuse_bounds[k]
+                    if bound == 0:
+                        line = stack.fresh()
+                    else:
+                        lo = bound // 2
+                        distance = int(rng.integers(lo, bound)) if bound > 1 else 1
+                        line = stack.reuse(distance)
+                    addr_out[i] = _DATA_BASE + line * 64 + 8 * int(rng.integers(0, 8))
+                    # Reproduce the measured pointer-chasing share: with
+                    # the profiled probability, this load's operand comes
+                    # from an earlier load — at a distance drawn from the
+                    # measured dependence-distance distribution, so chains
+                    # have realistic slack rather than full serialisation.
+                    if (op == isa.LOAD and recent_loads
+                            and rng.random() < excess_chain):
+                        d = draw_dep()
+                        target = None
+                        for idx in reversed(recent_loads):
+                            if i - idx >= d:
+                                target = idx
+                                break
+                        if target is None:
+                            target = recent_loads[0]
+                        src1_out[i] = i - target
+                    if op == isa.LOAD:
+                        recent_loads.append(i)
+                        if len(recent_loads) > 64:
+                            recent_loads.pop(0)
+                if src1_out[i] == 0:
+                    d = draw_dep()
+                    if 0 < d <= i:
+                        src1_out[i] = d
+                if rng.random() < profile.dep2_prob:
+                    d = draw_dep()
+                    if 0 < d <= i:
+                        src2_out[i] = d
+            i += 1
+
+    trace = Trace(
+        op=op_out,
+        src1=src1_out,
+        src2=src2_out,
+        addr=addr_out,
+        pc=pc_out,
+        taken=taken_out,
+        name="statsim",
+    )
+    trace.validate()
+    return trace

@@ -1,0 +1,6 @@
+"""Small shared utilities: seeded RNG construction, table rendering, hashing."""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import format_table, render_series
+
+__all__ = ["derive_seed", "make_rng", "format_table", "render_series"]

@@ -1,0 +1,21 @@
+"""Synthetic SPEC CPU2000-like workloads (trace generators).
+
+The paper drives its simulator with MinneSPEC *lgred* traces of eight SPEC
+CPU2000 programs.  Those traces are proprietary-toolchain artifacts; this
+package substitutes seeded synthetic trace generators whose statistical
+profiles are tuned so each program stresses the same parts of the design
+space the real one does (see DESIGN.md, "Substitutions").
+"""
+
+from repro.workloads.profiles import WorkloadProfile, PROFILES
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec2000 import benchmark_names, get_profile, get_trace
+
+__all__ = [
+    "WorkloadProfile",
+    "PROFILES",
+    "generate_trace",
+    "benchmark_names",
+    "get_profile",
+    "get_trace",
+]

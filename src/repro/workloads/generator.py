@@ -1,0 +1,244 @@
+"""Synthetic instruction-trace generation from a workload profile.
+
+The generator assembles a dynamic instruction stream the way real integer
+code executes: a sequence of basic blocks drawn from a skewed (hot-loop)
+popularity distribution, each block a run of sequential-PC instructions
+terminated by a control op.  Within blocks:
+
+* non-control slots draw an op class from the profile's mix;
+* loads and stores draw addresses from the profile's stream mixture
+  (:mod:`repro.workloads.streams`);
+* register dependences point a geometrically distributed distance back in
+  the stream — except loads fed by the chase stream, which depend on the
+  *previous* chase load, serialising them into a pointer-chasing chain;
+* each block's terminating branch has a per-site dominant direction and
+  bias, plus a profile-controlled fraction of genuinely random outcomes,
+  which together set the gshare predictor's achievable accuracy.
+
+Generation is fully deterministic given (profile, length, seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator import isa
+from repro.simulator.trace import Trace
+from repro.util.rng import make_rng
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.streams import ChaseStream, HotStream, StackStream, StridedStream
+
+_CODE_BASE = 0x0040_0000
+_MAX_BLOCK_LEN = 16
+_MIN_BLOCK_LEN = 2
+
+
+def _block_popularity(num_blocks: int, zipf: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipf-like popularity over blocks, with randomly permuted ranks."""
+    ranks = rng.permutation(num_blocks) + 1
+    weights = 1.0 / ranks.astype(float) ** zipf
+    return weights / weights.sum()
+
+
+def _op_thresholds(profile: WorkloadProfile):
+    """Cumulative thresholds for drawing non-control op classes."""
+    pairs = [
+        (profile.load_frac, isa.LOAD),
+        (profile.store_frac, isa.STORE),
+        (profile.imult_frac, isa.IMULT),
+        (profile.idiv_frac, isa.IDIV),
+        (profile.fpalu_frac, isa.FPALU),
+        (profile.fpmult_frac, isa.FPMULT),
+        (profile.fpdiv_frac, isa.FPDIV),
+    ]
+    total_control = 1.0 / profile.mean_block_len
+    # Rescale the mix to the non-control share of the stream; IALU fills
+    # whatever remains.
+    scale = 1.0 / max(1e-9, 1.0 - total_control)
+    thresholds = []
+    acc = 0.0
+    for frac, op in pairs:
+        if frac > 0:
+            acc += frac * scale
+            thresholds.append((acc, op))
+    return thresholds
+
+
+def generate_trace(profile: WorkloadProfile, length: int, seed: int = 0) -> Trace:
+    """Generate a ``length``-instruction trace for ``profile``.
+
+    Parameters
+    ----------
+    profile:
+        The benchmark's statistical profile.
+    length:
+        Number of dynamic instructions.
+    seed:
+        Root seed; combined with the profile name so different benchmarks
+        use decorrelated streams even under the same root seed.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rng = make_rng(seed, "trace", profile.name, length)
+
+    # -- static program structure ------------------------------------------
+    nb = profile.num_blocks
+    block_len = np.clip(
+        rng.poisson(max(profile.mean_block_len - _MIN_BLOCK_LEN, 1), nb)
+        + _MIN_BLOCK_LEN,
+        _MIN_BLOCK_LEN,
+        _MAX_BLOCK_LEN,
+    )
+    block_pc = _CODE_BASE + np.concatenate([[0], np.cumsum(block_len[:-1]) * 4])
+    popularity = _block_popularity(nb, profile.code_zipf, rng)
+    site_is_jump = rng.random(nb) < profile.jump_frac_of_control
+    site_dominant_taken = rng.random(nb) < 0.6  # loops skew toward taken
+
+    # Static slot assignment: every non-control code slot gets a fixed op
+    # class, and memory slots a fixed address-stream class, so a given PC
+    # behaves the same way on every dynamic execution — as real static
+    # instructions do.  (Stream codes: 0 stack, 1 hot, 2 strided, 3 chase;
+    # strided slots additionally pin one array cursor, giving each such PC
+    # a constant stride.)
+    thresholds = _op_thresholds(profile)
+    stream_cut1 = profile.stack_w
+    stream_cut2 = stream_cut1 + profile.hot_w
+    stream_cut3 = stream_cut2 + profile.stream_w
+    slot_op = []
+    slot_stream = []
+    slot_cursor = []
+    strided_slot_count = 0
+    for b in range(nb):
+        n_slots = int(block_len[b]) - 1
+        ops = np.empty(n_slots, dtype=np.int8)
+        streams = np.full(n_slots, -1, dtype=np.int8)
+        cursors = np.full(n_slots, -1, dtype=np.int16)
+        for j in range(n_slots):
+            u = rng.random()
+            op = isa.IALU
+            for cut, candidate in thresholds:
+                if u < cut:
+                    op = candidate
+                    break
+            ops[j] = op
+            if op == isa.LOAD or op == isa.STORE:
+                su = rng.random()
+                if su < stream_cut1:
+                    streams[j] = 0
+                elif su < stream_cut2:
+                    streams[j] = 1
+                elif su < stream_cut3:
+                    streams[j] = 2
+                    cursors[j] = strided_slot_count % profile.num_streams
+                    strided_slot_count += 1
+                else:
+                    streams[j] = 3
+        slot_op.append(ops)
+        slot_stream.append(streams)
+        slot_cursor.append(cursors)
+
+    # -- address streams -------------------------------------------------
+    stack = StackStream()
+    hot = HotStream(profile.hot_kb * 1024)
+    strided = StridedStream(
+        profile.footprint_kb * 1024,
+        profile.stride,
+        profile.num_streams,
+        segment_bytes=profile.stream_seg_kb * 1024,
+    )
+    chase = ChaseStream(
+        profile.footprint_kb * 1024,
+        min_distance=profile.chase_min_reuse_refs,
+        reuse_frac=profile.chase_reuse_frac,
+    )
+    geo_p = 1.0 / max(profile.mean_dep_distance, 1.0)
+
+    # -- dynamic stream ---------------------------------------------------
+    op_out = np.zeros(length, dtype=np.int8)
+    src1_out = np.zeros(length, dtype=np.int32)
+    src2_out = np.zeros(length, dtype=np.int32)
+    addr_out = np.zeros(length, dtype=np.int64)
+    pc_out = np.zeros(length, dtype=np.int64)
+    taken_out = np.zeros(length, dtype=bool)
+
+    # Pre-draw the block sequence in bulk (cheaper than per-block draws).
+    expected_blocks = max(8, int(length / profile.mean_block_len * 1.5) + 8)
+    block_seq = rng.choice(nb, size=expected_blocks, p=popularity)
+    block_cursor = 0
+
+    i = 0
+    last_chase_load = -1
+    while i < length:
+        if block_cursor >= len(block_seq):
+            block_seq = rng.choice(nb, size=expected_blocks, p=popularity)
+            block_cursor = 0
+        b = int(block_seq[block_cursor])
+        block_cursor += 1
+        n_instr = int(block_len[b])
+        base_pc = int(block_pc[b])
+        for j in range(n_instr):
+            if i >= length:
+                break
+            pc_out[i] = base_pc + 4 * j
+            is_last = j == n_instr - 1
+            if is_last:
+                if site_is_jump[b]:
+                    op_out[i] = isa.JUMP
+                    taken_out[i] = True
+                else:
+                    op_out[i] = isa.BRANCH
+                    if rng.random() < profile.branch_noise:
+                        outcome = rng.random() < 0.5
+                    else:
+                        follows_bias = rng.random() < profile.branch_bias
+                        outcome = bool(site_dominant_taken[b]) == follows_bias
+                    taken_out[i] = outcome
+                # Branches compare a recently produced value.
+                d = int(rng.geometric(geo_p))
+                if 0 < d <= i:
+                    src1_out[i] = d
+            else:
+                op = int(slot_op[b][j])
+                op_out[i] = op
+                if op == isa.LOAD or op == isa.STORE:
+                    stream = slot_stream[b][j]
+                    if stream == 0:
+                        addr_out[i] = stack.next(rng)
+                    elif stream == 1:
+                        addr_out[i] = hot.next(rng)
+                    elif stream == 2:
+                        addr_out[i] = strided.next(rng, stream=int(slot_cursor[b][j]))
+                    else:
+                        addr_out[i] = chase.next(rng)
+                        if op == isa.LOAD:
+                            # Serialise chase loads into finite-length
+                            # dependence chains; chain breaks let separate
+                            # chains overlap in the instruction window
+                            # (memory-level parallelism).
+                            chain_continues = (
+                                rng.random() >= 1.0 / max(profile.chase_chain_len, 1.0)
+                            )
+                            if last_chase_load >= 0 and chain_continues:
+                                src1_out[i] = i - last_chase_load
+                            last_chase_load = i
+                if src1_out[i] == 0:
+                    d = int(rng.geometric(geo_p))
+                    if 0 < d <= i:
+                        src1_out[i] = d
+                if rng.random() < profile.dep2_prob:
+                    d = int(rng.geometric(geo_p))
+                    if 0 < d <= i:
+                        src2_out[i] = d
+            i += 1
+
+    trace = Trace(
+        op=op_out,
+        src1=src1_out,
+        src2=src2_out,
+        addr=addr_out,
+        pc=pc_out,
+        taken=taken_out,
+        name=profile.name,
+    )
+    trace.validate()
+    return trace

@@ -1,0 +1,341 @@
+"""Statistical profiles of the eight SPEC CPU2000 benchmarks modeled.
+
+Each profile captures the program characteristics that determine which
+microarchitectural parameters the program's CPI responds to:
+
+* instruction mix and dependence-distance distribution (exposed ILP —
+  window and queue sensitivity);
+* code footprint and block popularity skew (L1I sensitivity);
+* data footprint plus a mixture of address streams — stack, hot-region,
+  sequential/strided, and dependent pointer-chasing — (D-L1 / L2 size and
+  latency sensitivity);
+* branch site count, per-site bias and noise (predictor accuracy, and with
+  it pipeline-depth sensitivity).
+
+Values are tuned so the *qualitative* sensitivities match what the paper
+reports per program (e.g. mcf's earliest regression-tree splits are L2
+latency/size, vortex's are dl1 latency / icache size / IQ size; the FP codes
+equake and ammp have the smoothest, most predictable surfaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters for one synthetic benchmark."""
+
+    name: str
+    # -- instruction mix (fractions of the dynamic stream) ---------------
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    imult_frac: float = 0.01
+    idiv_frac: float = 0.0
+    fpalu_frac: float = 0.0
+    fpmult_frac: float = 0.0
+    fpdiv_frac: float = 0.0
+    # Control fraction is implied by block length: each basic block ends in
+    # one control op.
+    jump_frac_of_control: float = 0.10  # the rest are conditional branches
+    # -- dependences --------------------------------------------------------
+    mean_dep_distance: float = 4.0  # geometric mean backward distance
+    dep2_prob: float = 0.5  # probability of a second register operand
+    # -- code -----------------------------------------------------------------
+    num_blocks: int = 256  # static basic blocks (code footprint)
+    mean_block_len: int = 7  # instructions per block (incl. the branch)
+    code_zipf: float = 1.2  # block popularity skew (higher = hotter loops)
+    # -- branch behaviour ----------------------------------------------------
+    branch_bias: float = 0.90  # per-site probability of the dominant outcome
+    branch_noise: float = 0.02  # fraction of branches with random outcome
+    # -- data -------------------------------------------------------------
+    footprint_kb: int = 1024  # main (cold) data region
+    hot_kb: int = 32  # hot data region
+    stack_w: float = 0.25  # address-stream mixture weights
+    hot_w: float = 0.35
+    stream_w: float = 0.25
+    chase_w: float = 0.15
+    stride: int = 16  # bytes between consecutive stream accesses
+    num_streams: int = 4
+    stream_seg_kb: int = 4  # looping array-segment size per stream
+    chase_min_reuse_refs: int = 16  # shortest chase reuse distance (chase refs)
+    chase_reuse_frac: float = 0.65  # fraction of chase refs that revisit
+    chase_chain_len: float = 6.0  # mean dependent loads per pointer chain
+
+    def __post_init__(self) -> None:
+        mix = (
+            self.load_frac + self.store_frac + self.imult_frac + self.idiv_frac
+            + self.fpalu_frac + self.fpmult_frac + self.fpdiv_frac
+        )
+        if mix >= 1.0:
+            raise ValueError(f"{self.name}: op mix fractions must sum below 1")
+        weights = self.stack_w + self.hot_w + self.stream_w + self.chase_w
+        if abs(weights - 1.0) > 1e-6:
+            raise ValueError(f"{self.name}: address-stream weights must sum to 1")
+        if not 0.5 <= self.branch_bias <= 1.0:
+            raise ValueError(f"{self.name}: branch_bias must be in [0.5, 1]")
+
+    @property
+    def code_footprint_kb(self) -> float:
+        """Approximate static code size (4-byte instructions)."""
+        return self.num_blocks * self.mean_block_len * 4 / 1024.0
+
+
+#: The eight benchmarks of the paper's Table 3.
+PROFILES: Dict[str, WorkloadProfile] = {
+    # 181.mcf: pointer-chasing, memory bound; L2 latency/size dominate.
+    "mcf": WorkloadProfile(
+        name="mcf",
+        load_frac=0.34,
+        store_frac=0.09,
+        mean_dep_distance=3.0,
+        dep2_prob=0.4,
+        num_blocks=96,
+        mean_block_len=8,
+        branch_bias=0.94,
+        branch_noise=0.015,
+        footprint_kb=8192,
+        hot_kb=8,
+        stack_w=0.15,
+        hot_w=0.30,
+        stream_w=0.25,
+        chase_w=0.30,
+        chase_chain_len=4.0,
+        stream_seg_kb=64,
+        chase_min_reuse_refs=768,
+        chase_reuse_frac=0.85,
+    ),
+    # 186.crafty: branchy chess search, small data, ILP/predictor bound.
+    "crafty": WorkloadProfile(
+        name="crafty",
+        load_frac=0.28,
+        store_frac=0.08,
+        imult_frac=0.02,
+        mean_dep_distance=5.0,
+        dep2_prob=0.6,
+        num_blocks=700,
+        mean_block_len=5,
+        code_zipf=1.1,
+        branch_bias=0.91,
+        branch_noise=0.04,
+        footprint_kb=256,
+        hot_kb=24,
+        stack_w=0.35,
+        hot_w=0.45,
+        stream_w=0.15,
+        chase_w=0.05,
+    ),
+    # 197.parser: dictionary lookups, moderate memory + branches.
+    "parser": WorkloadProfile(
+        name="parser",
+        load_frac=0.27,
+        store_frac=0.11,
+        mean_dep_distance=4.0,
+        num_blocks=500,
+        mean_block_len=6,
+        branch_bias=0.92,
+        branch_noise=0.02,
+        footprint_kb=1024,
+        hot_kb=32,
+        stack_w=0.28,
+        hot_w=0.42,
+        stream_w=0.18,
+        chase_w=0.12,
+    ),
+    # 253.perlbmk: interpreter; big code footprint, indirect jumps.
+    "perlbmk": WorkloadProfile(
+        name="perlbmk",
+        load_frac=0.28,
+        store_frac=0.13,
+        mean_dep_distance=4.0,
+        num_blocks=2200,
+        mean_block_len=6,
+        code_zipf=1.05,
+        jump_frac_of_control=0.25,
+        branch_bias=0.92,
+        branch_noise=0.03,
+        footprint_kb=384,
+        hot_kb=32,
+        stack_w=0.37,
+        hot_w=0.42,
+        stream_w=0.15,
+        chase_w=0.06,
+    ),
+    # 255.vortex: OO database; large code, L1-resident dependent loads.
+    "vortex": WorkloadProfile(
+        name="vortex",
+        load_frac=0.34,
+        store_frac=0.14,
+        mean_dep_distance=2.0,
+        dep2_prob=0.6,
+        num_blocks=2000,
+        mean_block_len=6,
+        code_zipf=1.05,
+        branch_bias=0.96,
+        branch_noise=0.01,
+        footprint_kb=768,
+        hot_kb=28,
+        stack_w=0.30,
+        hot_w=0.55,
+        stream_w=0.12,
+        chase_w=0.03,
+    ),
+    # 300.twolf: place-and-route; mixed behaviour.
+    "twolf": WorkloadProfile(
+        name="twolf",
+        load_frac=0.26,
+        store_frac=0.09,
+        imult_frac=0.03,
+        mean_dep_distance=3.5,
+        num_blocks=380,
+        mean_block_len=6,
+        branch_bias=0.92,
+        branch_noise=0.02,
+        footprint_kb=512,
+        hot_kb=40,
+        stack_w=0.27,
+        hot_w=0.45,
+        stream_w=0.20,
+        chase_w=0.08,
+    ),
+    # 183.equake (FP): regular strided sparse-matrix style access.
+    "equake": WorkloadProfile(
+        name="equake",
+        load_frac=0.30,
+        store_frac=0.08,
+        fpalu_frac=0.20,
+        fpmult_frac=0.10,
+        fpdiv_frac=0.002,
+        mean_dep_distance=5.0,
+        dep2_prob=0.6,
+        num_blocks=120,
+        mean_block_len=9,
+        branch_bias=0.97,
+        branch_noise=0.005,
+        footprint_kb=3072,
+        hot_kb=24,
+        stack_w=0.10,
+        hot_w=0.30,
+        stream_w=0.50,
+        chase_w=0.10,
+        stride=8,
+        num_streams=4,
+        stream_seg_kb=8,
+    ),
+    # 188.ammp (FP): molecular dynamics; larger footprint, smooth surface.
+    "ammp": WorkloadProfile(
+        name="ammp",
+        load_frac=0.29,
+        store_frac=0.09,
+        fpalu_frac=0.22,
+        fpmult_frac=0.12,
+        fpdiv_frac=0.004,
+        mean_dep_distance=6.0,
+        dep2_prob=0.6,
+        num_blocks=160,
+        mean_block_len=9,
+        branch_bias=0.96,
+        branch_noise=0.01,
+        footprint_kb=4096,
+        hot_kb=32,
+        stack_w=0.12,
+        hot_w=0.33,
+        stream_w=0.40,
+        chase_w=0.15,
+        chase_chain_len=5.0,
+        stride=16,
+        num_streams=4,
+        stream_seg_kb=16,
+    ),
+}
+
+
+#: Additional SPEC CPU2000-style workloads beyond the paper's Table 3 set.
+#: Useful for exercising the library on fresh programs (the paper builds a
+#: separate model per program-input pair; these give downstream users more
+#: pairs to play with).  They are NOT part of the paper reproduction.
+EXTRA_PROFILES: Dict[str, WorkloadProfile] = {
+    # 164.gzip: compression; small hot loops, strided buffer walks.
+    "gzip": WorkloadProfile(
+        name="gzip",
+        load_frac=0.24,
+        store_frac=0.12,
+        mean_dep_distance=3.5,
+        num_blocks=220,
+        mean_block_len=7,
+        code_zipf=1.3,
+        branch_bias=0.90,
+        branch_noise=0.03,
+        footprint_kb=384,
+        hot_kb=36,
+        stack_w=0.20,
+        hot_w=0.40,
+        stream_w=0.32,
+        chase_w=0.08,
+        stride=8,
+    ),
+    # 176.gcc: compiler; huge code footprint, branchy, pointer-heavy IR.
+    "gcc": WorkloadProfile(
+        name="gcc",
+        load_frac=0.27,
+        store_frac=0.12,
+        mean_dep_distance=4.0,
+        num_blocks=3000,
+        mean_block_len=5,
+        code_zipf=1.0,
+        jump_frac_of_control=0.18,
+        branch_bias=0.89,
+        branch_noise=0.04,
+        footprint_kb=1536,
+        hot_kb=32,
+        stack_w=0.30,
+        hot_w=0.38,
+        stream_w=0.12,
+        chase_w=0.20,
+    ),
+    # 256.bzip2: compression; moderate code, strong strided behaviour.
+    "bzip2": WorkloadProfile(
+        name="bzip2",
+        load_frac=0.26,
+        store_frac=0.11,
+        mean_dep_distance=4.5,
+        num_blocks=180,
+        mean_block_len=8,
+        code_zipf=1.35,
+        branch_bias=0.88,
+        branch_noise=0.04,
+        footprint_kb=2048,
+        hot_kb=40,
+        stack_w=0.15,
+        hot_w=0.35,
+        stream_w=0.40,
+        chase_w=0.10,
+        stride=8,
+        stream_seg_kb=64,
+    ),
+    # 179.art (FP): neural-net simulation; tiny code, hot FP array sweeps.
+    "art": WorkloadProfile(
+        name="art",
+        load_frac=0.30,
+        store_frac=0.07,
+        fpalu_frac=0.24,
+        fpmult_frac=0.14,
+        mean_dep_distance=6.0,
+        dep2_prob=0.65,
+        num_blocks=60,
+        mean_block_len=10,
+        branch_bias=0.98,
+        branch_noise=0.003,
+        footprint_kb=3072,
+        hot_kb=16,
+        stack_w=0.08,
+        hot_w=0.27,
+        stream_w=0.55,
+        chase_w=0.10,
+        stride=8,
+        num_streams=6,
+        stream_seg_kb=24,
+    ),
+}

@@ -1,0 +1,72 @@
+"""Benchmark registry: names, profiles, and cached trace construction.
+
+The paper runs eight SPEC CPU2000 programs with MinneSPEC *lgred* inputs to
+completion.  Here each benchmark maps to a synthetic profile; traces are
+memoised per (name, length, seed) because one trace is reused across the
+hundreds of design points simulated for a model.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.simulator.trace import Trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import EXTRA_PROFILES, PROFILES, WorkloadProfile
+
+#: Default dynamic trace length — the lgred stand-in.  Long enough for the
+#: caches and predictor to reach steady behaviour at every design point,
+#: short enough that the ~4000-simulation experiment grid stays tractable.
+DEFAULT_TRACE_LENGTH = 32768
+
+#: SPEC id prefixes, used only for display (the paper's Table 3 labels).
+SPEC_IDS = {
+    "gzip": "164.gzip",
+    "gcc": "176.gcc",
+    "art": "179.art",
+    "bzip2": "256.bzip2",
+    "mcf": "181.mcf",
+    "crafty": "186.crafty",
+    "parser": "197.parser",
+    "perlbmk": "253.perlbmk",
+    "vortex": "255.vortex",
+    "twolf": "300.twolf",
+    "equake": "183.equake",
+    "ammp": "188.ammp",
+}
+
+
+def benchmark_names() -> List[str]:
+    """The paper's eight benchmarks, in Table 3 order."""
+    return ["mcf", "crafty", "parser", "perlbmk", "vortex", "twolf", "equake", "ammp"]
+
+
+def extra_benchmark_names() -> List[str]:
+    """Additional workloads beyond the paper's set (library extras)."""
+    return sorted(EXTRA_PROFILES)
+
+
+def all_benchmark_names() -> List[str]:
+    """Every available workload: the paper's eight plus the extras."""
+    return benchmark_names() + extra_benchmark_names()
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Profile for ``name``; raises KeyError with the valid names listed."""
+    if name in PROFILES:
+        return PROFILES[name]
+    if name in EXTRA_PROFILES:
+        return EXTRA_PROFILES[name]
+    raise KeyError(f"unknown benchmark {name!r}; choose from {all_benchmark_names()}")
+
+
+@lru_cache(maxsize=64)
+def get_trace(name: str, length: int = DEFAULT_TRACE_LENGTH, seed: int = 0) -> Trace:
+    """The (memoised) trace for benchmark ``name``."""
+    return generate_trace(get_profile(name), length, seed)
+
+
+def spec_label(name: str) -> str:
+    """Display label like ``181.mcf`` (falls back to the bare name)."""
+    return SPEC_IDS.get(name, name)

@@ -1,0 +1,68 @@
+"""Tests for adaptive sequential sampling (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import DesignSpace, Parameter
+from repro.models.rbf import build_rbf_from_tree
+from repro.sampling.adaptive import adaptive_sample
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(
+        [Parameter("x", 0, 1, None), Parameter("y", 0, 1, None)],
+        name="adaptive",
+    )
+
+
+def response(points):
+    points = np.atleast_2d(points)
+    return np.sin(4 * points[:, 0]) + points[:, 1] ** 2
+
+
+def builder(x, y):
+    net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+    return net.predict
+
+
+class TestAdaptiveSample:
+    def test_budget_respected(self, space):
+        result = adaptive_sample(space, response, builder, budget=40,
+                                 seed=0, initial=16, batch=8, pool=64)
+        assert len(result.points) == 40
+        assert len(result.responses) == 40
+        assert sum(result.batch_sizes) == 40
+
+    def test_initial_batch_recorded(self, space):
+        result = adaptive_sample(space, response, builder, budget=30,
+                                 seed=0, initial=20, batch=5, pool=64)
+        assert result.batch_sizes[0] == 20
+
+    def test_budget_below_initial_rejected(self, space):
+        with pytest.raises(ValueError):
+            adaptive_sample(space, response, builder, budget=10, seed=0, initial=20)
+
+    def test_deterministic(self, space):
+        a = adaptive_sample(space, response, builder, budget=30, seed=3,
+                            initial=16, batch=7, pool=64)
+        b = adaptive_sample(space, response, builder, budget=30, seed=3,
+                            initial=16, batch=7, pool=64)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_adaptive_points_stay_in_cube(self, space):
+        result = adaptive_sample(space, response, builder, budget=36,
+                                 seed=1, initial=16, batch=10, pool=64)
+        assert result.points.min() >= 0 and result.points.max() <= 1
+
+    def test_final_model_better_than_seed_model(self, space):
+        result = adaptive_sample(space, response, builder, budget=60,
+                                 seed=2, initial=20, batch=10, pool=128)
+        rng = np.random.default_rng(55)
+        test = rng.random((100, 2))
+        truth = response(test)
+        seed_model = builder(result.points[:20], result.responses[:20])
+        final_model = builder(result.points, result.responses)
+        seed_rmse = np.sqrt(np.mean((seed_model(test) - truth) ** 2))
+        final_rmse = np.sqrt(np.mean((final_model(test) - truth) ** 2))
+        assert final_rmse < seed_rmse

@@ -1,0 +1,83 @@
+"""Tests for variance-based sensitivity analysis (Sobol indices)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.anova import interaction_share, rank_by_total, sobol_indices
+from repro.core.design_space import DesignSpace, Parameter
+from repro.models.base import Model
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(
+        [Parameter("a", 0, 1, None), Parameter("b", 0, 1, None),
+         Parameter("c", 0, 1, None)],
+        name="sobol",
+    )
+
+
+class AdditiveModel(Model):
+    """y = 2a + b (c irrelevant): purely additive."""
+
+    dimension = 3
+
+    def predict(self, pts):
+        pts = np.atleast_2d(pts)
+        return 2.0 * pts[:, 0] + pts[:, 1]
+
+
+class InteractingModel(Model):
+    """y = a * b: pure two-factor interaction."""
+
+    dimension = 3
+
+    def predict(self, pts):
+        pts = np.atleast_2d(pts)
+        return pts[:, 0] * pts[:, 1]
+
+
+class TestSobol:
+    def test_additive_model_indices(self, space):
+        ix = sobol_indices(AdditiveModel(), space, samples=16384, seed=1)
+        # Var = 4/12 + 1/12; S_a = 0.8, S_b = 0.2, S_c = 0.
+        assert ix["a"].first_order == pytest.approx(0.8, abs=0.08)
+        assert ix["b"].first_order == pytest.approx(0.2, abs=0.08)
+        assert ix["c"].total < 0.03
+        assert interaction_share(ix) < 0.1
+
+    def test_additive_first_order_equals_total(self, space):
+        ix = sobol_indices(AdditiveModel(), space, samples=4096, seed=1)
+        for name in ("a", "b"):
+            assert ix[name].interaction < 0.05
+
+    def test_pure_interaction_detected(self, space):
+        ix = sobol_indices(InteractingModel(), space, samples=4096, seed=2)
+        # For y = a*b on U[0,1]: S_a = S_b ~ 0.43, total ~ 0.57 each.
+        assert ix["a"].interaction > 0.08
+        assert ix["b"].interaction > 0.08
+        assert interaction_share(ix) > 0.1
+
+    def test_ranking(self, space):
+        ranked = rank_by_total(sobol_indices(AdditiveModel(), space, samples=2048))
+        assert ranked[0].parameter == "a"
+        assert ranked[-1].parameter == "c"
+
+    def test_constant_model_rejected(self, space):
+        class Flat(Model):
+            dimension = 3
+
+            def predict(self, pts):
+                return np.ones(len(np.atleast_2d(pts)))
+
+        with pytest.raises(ValueError):
+            sobol_indices(Flat(), space, samples=256)
+
+    def test_too_few_samples_rejected(self, space):
+        with pytest.raises(ValueError):
+            sobol_indices(AdditiveModel(), space, samples=4)
+
+    def test_deterministic(self, space):
+        a = sobol_indices(AdditiveModel(), space, samples=512, seed=9)
+        b = sobol_indices(AdditiveModel(), space, samples=512, seed=9)
+        assert a == b

@@ -1,0 +1,92 @@
+"""Tests for CPI-stack (counterfactual bottleneck) analysis."""
+
+import pytest
+
+from repro.analysis.bottleneck import CPIStack, cpi_stack, render_stack
+from repro.simulator.config import ProcessorConfig
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES
+
+
+@pytest.fixture(scope="module")
+def twolf_trace():
+    return generate_trace(PROFILES["twolf"], 6000, seed=4)
+
+
+@pytest.fixture(scope="module")
+def twolf_stack(twolf_trace):
+    return cpi_stack(ProcessorConfig(), twolf_trace)
+
+
+class TestIdealisationSwitches:
+    def test_perfect_bpred_removes_mispredicts_cost(self, twolf_trace):
+        from repro.simulator.simulator import simulate
+
+        base = simulate(ProcessorConfig(), twolf_trace)
+        ideal = simulate(ProcessorConfig(perfect_branch_prediction=True), twolf_trace)
+        assert ideal.cpi < base.cpi
+
+    def test_perfect_dcache_hits_everything(self, twolf_trace):
+        from repro.simulator.simulator import simulate
+
+        ideal = simulate(ProcessorConfig(perfect_dcache=True), twolf_trace)
+        # No data-cache traffic reaches the hierarchy at all.
+        assert ideal.dl1_miss_rate == 0.0
+
+    def test_all_ideal_approaches_width_limit(self, twolf_trace):
+        from repro.simulator.simulator import simulate
+
+        ideal = simulate(
+            ProcessorConfig(perfect_branch_prediction=True, perfect_dcache=True,
+                            perfect_icache=True),
+            twolf_trace,
+        )
+        assert ideal.cpi < 1.5  # width/ILP-bound only
+
+
+class TestCPIStack:
+    def test_components_nonnegative(self, twolf_stack):
+        assert twolf_stack.base > 0
+        assert twolf_stack.branch >= 0
+        assert twolf_stack.data_memory >= 0
+        assert twolf_stack.instruction_memory >= 0
+
+    def test_base_below_total(self, twolf_stack):
+        assert twolf_stack.base < twolf_stack.total
+
+    def test_memory_dominates_twolf(self, twolf_stack):
+        # twolf's profile is data-memory heavy relative to icache.
+        assert twolf_stack.dominant_component() == "data_memory"
+
+    def test_as_dict_keys(self, twolf_stack):
+        d = twolf_stack.as_dict()
+        assert set(d) == {"total", "base", "branch", "data_memory",
+                          "instruction_memory", "overlap"}
+
+    def test_overlap_identity(self, twolf_stack):
+        s = twolf_stack
+        assert s.total == pytest.approx(
+            s.base + s.branch + s.data_memory + s.instruction_memory + s.overlap
+        )
+
+    def test_rejects_pre_idealised_config(self, twolf_trace):
+        with pytest.raises(ValueError):
+            cpi_stack(ProcessorConfig(perfect_dcache=True), twolf_trace)
+
+    def test_render(self, twolf_stack):
+        text = render_stack(twolf_stack)
+        assert "total CPI" in text
+        assert "data memory" in text
+
+
+class TestProgramContrast:
+    def test_mcf_more_memory_bound_than_crafty(self):
+        mcf = cpi_stack(ProcessorConfig(),
+                        generate_trace(PROFILES["mcf"], 6000, seed=4))
+        crafty = cpi_stack(ProcessorConfig(),
+                           generate_trace(PROFILES["crafty"], 6000, seed=4))
+        mcf_mem_share = mcf.data_memory / mcf.total
+        crafty_mem_share = crafty.data_memory / crafty.total
+        assert mcf_mem_share > crafty_mem_share
+        # And crafty pays relatively more for branches.
+        assert (crafty.branch / crafty.total) > (mcf.branch / mcf.total)

@@ -1,0 +1,64 @@
+"""Tests for workload characterisation."""
+
+import pytest
+
+from repro.simulator.trace import empty_trace
+from repro.workloads.characterize import characterize, compare
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES
+
+
+@pytest.fixture(scope="module")
+def chars():
+    return {
+        name: characterize(generate_trace(PROFILES[name], 10000, seed=6))
+        for name in ("mcf", "crafty", "vortex", "equake")
+    }
+
+
+class TestCharacterize:
+    def test_mix_sums_to_one(self, chars):
+        for c in chars.values():
+            assert sum(c.mix.values()) == pytest.approx(1.0)
+
+    def test_memory_fraction_matches_profiles(self, chars):
+        for name, c in chars.items():
+            profile = PROFILES[name]
+            expected = profile.load_frac + profile.store_frac
+            assert c.memory_fraction() == pytest.approx(expected, rel=0.35), name
+
+    def test_code_footprint_tracks_profile(self, chars):
+        assert chars["vortex"].code_footprint_kb > chars["mcf"].code_footprint_kb
+
+    def test_dep_distances_positive(self, chars):
+        for c in chars.values():
+            assert c.mean_dep_distance > 0
+            assert c.dep_distance_p90 >= c.mean_dep_distance
+
+    def test_working_set_grows_with_window(self, chars):
+        for c in chars.values():
+            sizes = [c.working_set_lines[w] for w in sorted(c.working_set_lines)]
+            assert all(a <= b + 1e-9 for a, b in zip(sizes, sizes[1:]))
+
+    def test_branch_entropy_orders_predictability(self, chars):
+        # crafty (noisy branches) must have higher outcome entropy than
+        # equake (highly biased).
+        assert chars["crafty"].branch_entropy_bits > chars["equake"].branch_entropy_bits
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            characterize(empty_trace())
+
+
+class TestCompare:
+    def test_self_comparison_is_zero(self, chars):
+        diffs = compare(chars["mcf"], chars["mcf"])
+        assert all(v == pytest.approx(0.0) for v in diffs.values())
+
+    def test_different_programs_differ(self, chars):
+        diffs = compare(chars["mcf"], chars["crafty"])
+        assert max(diffs.values()) > 0.1
+
+    def test_keys(self, chars):
+        diffs = compare(chars["mcf"], chars["vortex"])
+        assert "memory_fraction" in diffs and "branch_entropy_bits" in diffs

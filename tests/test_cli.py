@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_overrides, build_parser, main
+
+
+class TestParseOverrides:
+    def test_ints_and_floats(self):
+        out = _parse_overrides(["l2_lat=18", "iq_size=32"])
+        assert out == {"l2_lat": 18, "iq_size": 32}
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["l2_lat"])
+
+    def test_non_numeric(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["l2_lat=big"])
+
+
+class TestCommands:
+    def test_experiments_lists_all_exhibits(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exhibit in ("Figure 1", "Figure 7", "Table 3", "Table 5"):
+            assert exhibit in out
+
+    def test_benchmarks_lists_workloads(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "181.mcf" in out and "188.ammp" in out
+
+    def test_simulate_prints_cpi(self, capsys):
+        code = main(["simulate", "twolf", "l2_lat=18", "--trace-length", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cpi" in out
+
+    def test_simulate_rejects_bad_override(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "twolf", "l2_lat=-3", "--trace-length", "2000"])
+
+    def test_simulate_rejects_unknown_field(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "twolf", "warp_factor=9", "--trace-length", "2000"])
+
+    def test_build_small_budget(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main([
+            "build", "twolf", "--sample-size", "20", "--test-points", "10",
+            "--trace-length", "2000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gcc"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestReport:
+    def test_report_aggregates_results(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        (tmp_path / "fig1_response_surface.txt").write_text("FIG1 CONTENT\n")
+        (tmp_path / "ablation_sampling.txt").write_text("ABLATION CONTENT\n")
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1 CONTENT" in out
+        assert "ABLATION CONTENT" in out
+        assert "missing exhibits" in out  # others not generated
+        assert (tmp_path / "SUMMARY.txt").exists()
+
+    def test_report_with_no_results(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nothing"))
+        assert main(["report"]) == 1

@@ -1,0 +1,183 @@
+"""Tests for the design-space specification layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import (
+    DesignSpace,
+    Parameter,
+    paper_design_space,
+    paper_test_space,
+)
+
+
+class TestParameter:
+    def test_linear_roundtrip(self):
+        p = Parameter("x", 10, 20, None, "linear")
+        assert p.to_unit(10) == pytest.approx(0.0)
+        assert p.to_unit(20) == pytest.approx(1.0)
+        assert p.to_unit(15) == pytest.approx(0.5)
+        assert p.from_unit(0.5) == pytest.approx(15)
+
+    def test_log_roundtrip(self):
+        p = Parameter("s", 8, 64, None, "log")
+        assert p.to_unit(8) == pytest.approx(0.0)
+        assert p.to_unit(64) == pytest.approx(1.0)
+        # Geometric midpoint maps to the unit-cube midpoint.
+        assert p.from_unit(0.5) == pytest.approx(np.sqrt(8 * 64), rel=1e-9)
+
+    def test_levels_snap(self):
+        p = Parameter("s", 8, 64, 4, "log", integer=True)
+        grid = p.grid()
+        assert list(grid) == [8, 16, 32, 64]
+        # Arbitrary unit values snap onto the grid.
+        assert p.from_unit(0.4) in grid
+        assert p.from_unit(0.99) == 64
+
+    def test_sample_dependent_levels(self):
+        p = Parameter("r", 24, 128, None, "linear", integer=True)
+        with pytest.raises(ValueError):
+            p.grid()
+        assert len(p.grid(num_levels=5)) == 5
+
+    def test_integer_rounding(self):
+        p = Parameter("d", 7, 24, 18, "linear", integer=True)
+        values = p.from_unit(np.linspace(0, 1, 50))
+        assert np.all(values == np.round(values))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Parameter("x", 5, 5, None)
+        with pytest.raises(ValueError):
+            Parameter("x", 10, 5, None)
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            Parameter("x", -1, 5, None, "log")
+
+    def test_unknown_transform(self):
+        with pytest.raises(ValueError):
+            Parameter("x", 0, 1, None, "cubic")
+
+    def test_from_unit_clips(self):
+        p = Parameter("x", 0, 10, None)
+        assert p.from_unit(-0.5) == 0
+        assert p.from_unit(1.5) == 10
+
+
+class TestDesignSpace:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            DesignSpace([])
+
+    def test_duplicate_names_rejected(self):
+        p = Parameter("x", 0, 1, None)
+        with pytest.raises(ValueError):
+            DesignSpace([p, p])
+
+    def test_unknown_fraction_base_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([Parameter("f", 0.2, 0.8, None, fraction_of="nope")])
+
+    def test_dict_array_roundtrip(self, small_space):
+        point = {"depth": 10, "size_kb": 16, "frac": 0.5}
+        arr = small_space.as_array(point)
+        assert small_space.as_dict(arr) == point
+
+    def test_as_array_missing_key(self, small_space):
+        with pytest.raises(KeyError):
+            small_space.as_array({"depth": 10})
+
+    def test_encode_decode_roundtrip(self, small_space):
+        pts = np.array([[4, 8, 0.25], [20, 64, 0.75], [12, 16, 0.5]])
+        unit = small_space.encode(pts)
+        assert unit.min() >= 0 and unit.max() <= 1
+        back = small_space.decode(unit)
+        np.testing.assert_allclose(back[:, 0], pts[:, 0])  # integers preserved
+        np.testing.assert_allclose(back[:, 1], pts[:, 1])
+
+    def test_decode_snaps_levels(self, small_space):
+        unit = np.array([[0.5, 0.4, 0.5]])
+        phys = small_space.decode(unit)
+        assert phys[0, 1] in (8, 16, 32, 64)
+
+    def test_resolve_fraction(self, small_space):
+        resolved = small_space.resolve({"depth": 10, "size_kb": 16, "frac": 0.5})
+        assert resolved["frac"] == 5  # 0.5 * depth(10)
+
+    def test_resolve_fraction_minimum_one(self, small_space):
+        resolved = small_space.resolve({"depth": 4, "size_kb": 16, "frac": 0.25})
+        assert resolved["frac"] >= 1
+
+    def test_contains(self, small_space):
+        assert small_space.contains({"depth": 10, "size_kb": 16, "frac": 0.5})
+        assert not small_space.contains({"depth": 30, "size_kb": 16, "frac": 0.5})
+
+    def test_random_unit_points(self, small_space, rng):
+        pts = small_space.random_unit_points(20, rng)
+        assert pts.shape == (20, 3)
+        assert pts.min() >= 0 and pts.max() <= 1
+        with pytest.raises(ValueError):
+            small_space.random_unit_points(0, rng)
+
+    def test_index_and_getitem(self, small_space):
+        assert small_space.index("size_kb") == 1
+        assert small_space["size_kb"].transform == "log"
+        with pytest.raises(KeyError):
+            small_space["missing"]
+
+    def test_describe_mentions_all_parameters(self, small_space):
+        text = small_space.describe()
+        for name in small_space.names:
+            assert name in text
+
+
+class TestPaperSpaces:
+    def test_table1_dimensions(self):
+        space = paper_design_space()
+        assert space.dimension == 9
+        assert space.names[0] == "pipe_depth"
+
+    def test_table1_ranges(self):
+        space = paper_design_space()
+        assert (space["pipe_depth"].low, space["pipe_depth"].high) == (7, 24)
+        assert (space["rob_size"].low, space["rob_size"].high) == (24, 128)
+        assert (space["l2_size_kb"].low, space["l2_size_kb"].high) == (256, 8192)
+        assert (space["l2_lat"].low, space["l2_lat"].high) == (5, 20)
+        assert (space["dl1_lat"].low, space["dl1_lat"].high) == (1, 4)
+
+    def test_table1_levels_and_transforms(self):
+        space = paper_design_space()
+        assert space["pipe_depth"].levels == 18
+        assert space["l2_size_kb"].levels == 6
+        assert space["l2_size_kb"].transform == "log"
+        assert space["il1_size_kb"].levels == 4
+        assert space["rob_size"].levels is None  # 'S' in the paper
+
+    def test_queue_parameters_are_fractions_of_rob(self):
+        space = paper_design_space()
+        assert space["iq_frac"].fraction_of == "rob_size"
+        assert space["lsq_frac"].fraction_of == "rob_size"
+        assert (space["iq_frac"].low, space["iq_frac"].high) == (0.25, 0.75)
+
+    def test_table2_is_restricted(self):
+        train = paper_design_space()
+        test = paper_test_space()
+        for name in ("pipe_depth", "rob_size", "iq_frac", "lsq_frac", "l2_lat"):
+            assert test[name].low >= train[name].low
+            assert test[name].high <= train[name].high
+
+    def test_table2_ranges(self):
+        test = paper_test_space()
+        assert (test["pipe_depth"].low, test["pipe_depth"].high) == (9, 22)
+        assert (test["rob_size"].low, test["rob_size"].high) == (37, 115)
+        assert (test["iq_frac"].low, test["iq_frac"].high) == (0.31, 0.69)
+        assert (test["l2_lat"].low, test["l2_lat"].high) == (7, 18)
+
+    def test_test_space_cache_sizes_are_powers_of_two(self, rng):
+        test = paper_test_space()
+        unit = test.random_unit_points(64, rng)
+        phys = test.decode(unit)
+        for name in ("l2_size_kb", "il1_size_kb", "dl1_size_kb"):
+            col = phys[:, test.index(name)].astype(int)
+            assert np.all((col & (col - 1)) == 0), f"{name} not power of two"

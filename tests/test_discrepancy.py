@@ -1,0 +1,83 @@
+"""Tests for the L2 discrepancy measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.discrepancy import centered_l2_discrepancy, star_l2_discrepancy
+from repro.sampling.lhs import latin_hypercube
+from repro.util.rng import make_rng
+
+
+def test_star_l2_single_center_point_1d():
+    # Closed-form check: for P = {0.5} in 1-D, Warnock's formula gives
+    # D^2 = 1/3 - (2/1)*(1-0.25)/2 + (1-0.5) = 1/3 - 0.75 + 0.5 = 1/12.
+    value = star_l2_discrepancy(np.array([[0.5]]))
+    assert value == pytest.approx(np.sqrt(1.0 / 12.0))
+
+
+def test_centered_l2_single_center_point_1d():
+    # For the centered discrepancy at x = 0.5, |x - 1/2| = 0, so
+    # CD^2 = 13/12 - 2*1 + 1 = 1/12.
+    value = centered_l2_discrepancy(np.array([[0.5]]))
+    assert value == pytest.approx(np.sqrt(1.0 / 12.0))
+
+
+def test_larger_uniform_grid_has_lower_discrepancy():
+    fine = np.linspace(0.05, 0.95, 19)[:, None]
+    coarse = np.linspace(0.1, 0.9, 5)[:, None]
+    assert centered_l2_discrepancy(fine) < centered_l2_discrepancy(coarse)
+
+
+def test_clustered_sample_is_worse_than_spread_sample():
+    spread = np.linspace(0.05, 0.95, 10)[:, None]
+    clustered = np.full((10, 1), 0.1) + np.linspace(0, 0.01, 10)[:, None]
+    assert centered_l2_discrepancy(spread) < centered_l2_discrepancy(clustered)
+
+
+def test_lhs_beats_random_on_average(small_space):
+    # The motivating property from the paper: LHS covers the space better
+    # than plain random sampling (Fang et al. 2002).
+    lhs_vals, rand_vals = [], []
+    for i in range(10):
+        rng = make_rng(100, i)
+        lhs_vals.append(centered_l2_discrepancy(latin_hypercube(small_space, 20, rng)))
+        rand_vals.append(centered_l2_discrepancy(rng.random((20, 3))))
+    assert np.mean(lhs_vals) < np.mean(rand_vals)
+
+
+def test_rejects_points_outside_unit_cube():
+    with pytest.raises(ValueError):
+        centered_l2_discrepancy(np.array([[1.5, 0.2]]))
+    with pytest.raises(ValueError):
+        star_l2_discrepancy(np.array([[-0.1]]))
+
+
+def test_rejects_empty_sample():
+    with pytest.raises(ValueError):
+        centered_l2_discrepancy(np.zeros((0, 3)))
+
+
+def test_reflection_invariance_of_centered_discrepancy(rng):
+    # CD2 is invariant under coordinate reflection x -> 1 - x; the star
+    # discrepancy (anchored at the origin) is not.
+    pts = rng.random((15, 3))
+    reflected = 1.0 - pts
+    assert centered_l2_discrepancy(pts) == pytest.approx(
+        centered_l2_discrepancy(reflected), rel=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(min_value=1, max_value=12),
+    n=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_discrepancies_are_finite_and_nonnegative(p, n, seed):
+    pts = np.random.default_rng(seed).random((p, n))
+    for fn in (centered_l2_discrepancy, star_l2_discrepancy):
+        value = fn(pts)
+        assert np.isfinite(value)
+        assert value >= 0.0

@@ -1,0 +1,52 @@
+"""Tests for the Halton low-discrepancy sequence."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.discrepancy import centered_l2_discrepancy
+from repro.sampling.halton import halton
+
+
+class TestHalton:
+    def test_shape_and_bounds(self):
+        pts = halton(50, 9)
+        assert pts.shape == (50, 9)
+        assert pts.min() >= 0.0 and pts.max() < 1.0
+
+    def test_unscrambled_base2_prefix(self):
+        # With skip=0 the base-2 dimension starts 1/2, 1/4, 3/4, ...
+        pts = halton(4, 1, scramble=False, skip=0)
+        np.testing.assert_allclose(pts[:, 0], [0.5, 0.25, 0.75, 0.125])
+
+    def test_deterministic(self):
+        a = halton(20, 5, seed=3)
+        b = halton(20, 5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scramble_seeds_differ(self):
+        a = halton(20, 5, seed=3)
+        b = halton(20, 5, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_scrambled_beats_random_discrepancy(self):
+        rng = np.random.default_rng(0)
+        h = centered_l2_discrepancy(halton(64, 5, scramble=True, seed=1))
+        r = np.mean([
+            centered_l2_discrepancy(rng.random((64, 5))) for _ in range(5)
+        ])
+        assert h < r
+
+    def test_low_dims_well_distributed(self):
+        # In each 1-D projection, points fill [0,1) nearly uniformly.
+        pts = halton(128, 3, scramble=True, seed=2)
+        for k in range(3):
+            hist, _ = np.histogram(pts[:, k], bins=8, range=(0, 1))
+            assert hist.min() >= 8  # perfectly uniform would be 16
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            halton(0, 3)
+        with pytest.raises(ValueError):
+            halton(10, 0)
+        with pytest.raises(ValueError):
+            halton(10, 26)

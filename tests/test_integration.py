@@ -1,0 +1,77 @@
+"""End-to-end integration tests: the full stack on small budgets.
+
+These run the complete pipeline — synthetic workload -> detailed
+simulation -> LHS sampling -> RBF model -> validation — with reduced trace
+lengths and sample sizes so they stay test-suite fast while still
+exercising every layer together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import paper_design_space, paper_test_space
+from repro.core.procedure import BuildRBFModel
+from repro.experiments.report import emit, results_dir
+from repro.experiments.runner import SimulationRunner
+from repro.models.linear import LinearInteractionModel
+from repro.core.validation import prediction_errors
+from repro.sampling.random_design import random_design
+
+TRACE_LENGTH = 4096  # small but long enough for warm caches
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """A full modeling stack for one benchmark on a reduced budget."""
+    cache = tmp_path_factory.mktemp("simcache")
+    space = paper_design_space()
+    runner = SimulationRunner("twolf", trace_length=TRACE_LENGTH, cache_dir=cache)
+    builder = BuildRBFModel(
+        space, runner.cpi, seed=7, lhs_candidates=16,
+        p_min_grid=(1, 2), alpha_grid=(3.0, 5.0, 8.0),
+    )
+    tspace = paper_test_space()
+    test_phys = tspace.decode(random_design(tspace, 25, seed=5))
+    test_cpi = runner.cpi(test_phys)
+    return space, runner, builder, test_phys, test_cpi
+
+
+class TestFullPipeline:
+    def test_model_reaches_usable_accuracy(self, stack):
+        space, runner, builder, test_phys, test_cpi = stack
+        result = builder.build(60, test_phys, test_cpi)
+        assert result.errors.mean < 8.0
+        assert result.errors.max < 40.0
+
+    def test_model_beats_linear_baseline(self, stack):
+        space, runner, builder, test_phys, test_cpi = stack
+        result = builder.build(60, test_phys, test_cpi)
+        linear = LinearInteractionModel.fit(result.unit_points, result.responses)
+        lin = prediction_errors(test_cpi, linear.predict(space.encode(test_phys)))
+        assert result.errors.mean < lin.mean * 1.5
+
+    def test_simulation_reuse_across_builds(self, stack):
+        space, runner, builder, test_phys, test_cpi = stack
+        before = runner.simulations_run
+        builder.build(60)  # identical sample -> fully cached
+        assert runner.simulations_run == before
+
+    def test_predictions_positive_everywhere(self, stack, rng):
+        space, runner, builder, *_ = stack
+        result = builder.build(60)
+        random_unit = rng.random((200, space.dimension))
+        pred = result.model.predict(random_unit)
+        assert np.all(pred > 0)
+
+    def test_cpi_range_is_sane(self, stack):
+        _, _, builder, _, test_cpi = stack
+        assert 0.25 < test_cpi.min()
+        assert test_cpi.max() < 50
+
+
+class TestReport:
+    def test_emit_writes_and_returns_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r"))
+        path = emit("unit-test", "hello table")
+        assert path.read_text() == "hello table\n"
+        assert results_dir() == tmp_path / "r"

@@ -1,0 +1,75 @@
+"""Tests for the neural-network baseline (Ipek et al. family)."""
+
+import numpy as np
+import pytest
+
+from repro.models.mlp import MLPModel
+
+
+class TestFit:
+    def test_learns_linear_function(self, rng):
+        x = rng.random((60, 2))
+        y = 1.0 + 2.0 * x[:, 0] - x[:, 1]
+        model = MLPModel.fit(x, y, hidden=(8,), epochs=2000, seed=1)
+        xt = rng.random((30, 2))
+        yt = 1.0 + 2.0 * xt[:, 0] - xt[:, 1]
+        assert np.abs(model.predict(xt) - yt).mean() < 0.05
+
+    def test_learns_nonlinear_function(self, rng):
+        x = rng.random((120, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1] ** 2
+        model = MLPModel.fit(x, y, hidden=(16,), epochs=3000, seed=2)
+        xt = rng.random((50, 2))
+        yt = np.sin(3 * xt[:, 0]) + xt[:, 1] ** 2
+        rmse = np.sqrt(np.mean((model.predict(xt) - yt) ** 2))
+        assert rmse < 0.12
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.random((40, 2))
+        y = x[:, 0]
+        a = MLPModel.fit(x, y, epochs=200, seed=7)
+        b = MLPModel.fit(x, y, epochs=200, seed=7)
+        xt = rng.random((10, 2))
+        np.testing.assert_array_equal(a.predict(xt), b.predict(xt))
+
+    def test_seeds_differ(self, rng):
+        x = rng.random((40, 2))
+        y = x[:, 0]
+        a = MLPModel.fit(x, y, epochs=200, seed=7)
+        b = MLPModel.fit(x, y, epochs=200, seed=8)
+        xt = rng.random((10, 2))
+        assert not np.array_equal(a.predict(xt), b.predict(xt))
+
+    def test_two_hidden_layers(self, rng):
+        x = rng.random((60, 3))
+        y = x[:, 0] * x[:, 1]
+        model = MLPModel.fit(x, y, hidden=(12, 6), epochs=1500, seed=3)
+        assert len(model.weights) == 3
+
+    def test_target_standardisation_handles_large_scale(self, rng):
+        x = rng.random((50, 2))
+        y = 1000.0 + 500.0 * x[:, 0]
+        model = MLPModel.fit(x, y, epochs=2000, seed=4)
+        pred = model.predict(x)
+        assert np.abs(pred - y).mean() < 25.0
+
+    def test_constant_target(self, rng):
+        x = rng.random((20, 2))
+        model = MLPModel.fit(x, np.full(20, 3.0), epochs=200, seed=5)
+        assert model.predict(x) == pytest.approx(3.0, abs=0.1)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            MLPModel.fit(rng.random((10, 2)), np.zeros(9))
+        with pytest.raises(ValueError):
+            MLPModel.fit(rng.random((1, 2)), np.zeros(1))
+
+    def test_dimension_check(self, rng):
+        model = MLPModel.fit(rng.random((20, 3)), np.zeros(20), epochs=50)
+        with pytest.raises(ValueError):
+            model.predict(rng.random((5, 2)))
+
+    def test_repr(self, rng):
+        model = MLPModel.fit(rng.random((20, 3)), np.zeros(20), epochs=50,
+                             hidden=(8,))
+        assert "MLPModel" in repr(model)

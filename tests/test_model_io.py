@@ -1,0 +1,92 @@
+"""Tests for model serialization (JSON round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.models.io import load_model, save_model
+from repro.models.linear import LinearInteractionModel
+from repro.models.mlp import MLPModel
+from repro.models.rbf import RBFNetwork, build_rbf_from_tree
+from repro.models.spline import SplineModel
+
+
+@pytest.fixture
+def sample(rng):
+    x = rng.random((50, 3))
+    y = 1.0 + np.sin(3 * x[:, 0]) + 0.5 * x[:, 1]
+    return x, y
+
+
+def roundtrip(model, tmp_path, **kwargs):
+    path = save_model(model, tmp_path / "model.json", **kwargs)
+    return load_model(path)
+
+
+class TestRoundTrips:
+    def test_rbf(self, sample, tmp_path, rng):
+        x, y = sample
+        net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        loaded, _, _ = roundtrip(net, tmp_path)
+        xt = rng.random((20, 3))
+        np.testing.assert_allclose(loaded.predict(xt), net.predict(xt), rtol=1e-12)
+
+    def test_linear(self, sample, tmp_path, rng):
+        x, y = sample
+        model = LinearInteractionModel.fit(x, y)
+        loaded, _, _ = roundtrip(model, tmp_path)
+        xt = rng.random((20, 3))
+        np.testing.assert_allclose(loaded.predict(xt), model.predict(xt), rtol=1e-12)
+
+    def test_spline(self, sample, tmp_path, rng):
+        x, y = sample
+        model = SplineModel.fit(x, y, max_terms=12)
+        loaded, _, _ = roundtrip(model, tmp_path)
+        xt = rng.random((20, 3))
+        np.testing.assert_allclose(loaded.predict(xt), model.predict(xt), rtol=1e-12)
+
+    def test_mlp(self, sample, tmp_path, rng):
+        x, y = sample
+        model = MLPModel.fit(x, y, hidden=(6,), epochs=300, seed=1)
+        loaded, _, _ = roundtrip(model, tmp_path)
+        xt = rng.random((20, 3))
+        np.testing.assert_allclose(loaded.predict(xt), model.predict(xt), rtol=1e-12)
+
+
+class TestMetadata:
+    def test_names_and_metadata_preserved(self, sample, tmp_path):
+        x, y = sample
+        net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        _, names, meta = roundtrip(
+            net, tmp_path,
+            parameter_names=["a", "b", "c"],
+            metadata={"benchmark": "mcf", "sample_size": 50},
+        )
+        assert names == ["a", "b", "c"]
+        assert meta["benchmark"] == "mcf"
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "model": {"family": "rbf"}}')
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_unknown_family_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format_version": 1, "model": {"family": "forest"}}'
+        )
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_unserialisable_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "x.json")
+
+    def test_file_is_valid_json(self, sample, tmp_path):
+        import json
+
+        x, y = sample
+        net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        path = save_model(net, tmp_path / "m.json")
+        payload = json.loads(path.read_text())
+        assert payload["model"]["family"] == "rbf"

@@ -1,0 +1,128 @@
+"""Property-based tests on the modeling stack's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_space import DesignSpace, Parameter
+from repro.models.linear import LinearInteractionModel
+from repro.models.rbf import RBFNetwork, build_rbf_from_tree, gaussian_design_matrix
+from repro.models.tree import RegressionTree
+
+
+def sample_strategy(min_points=8, max_points=40, dims=2):
+    return st.integers(0, 10_000).map(
+        lambda seed: _make_sample(seed, min_points, max_points, dims)
+    )
+
+
+def _make_sample(seed, min_points, max_points, dims):
+    rng = np.random.default_rng(seed)
+    p = int(rng.integers(min_points, max_points + 1))
+    x = rng.random((p, dims))
+    y = 1.0 + np.sin(2.5 * x[:, 0]) + 0.5 * x[:, -1]
+    return x, y
+
+
+class TestTreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(sample=sample_strategy())
+    def test_leaves_partition_the_sample(self, sample):
+        x, y = sample
+        tree = RegressionTree(x, y, p_min=3)
+        leaf_indices = np.concatenate([leaf.indices for leaf in tree.leaves()])
+        assert sorted(leaf_indices.tolist()) == list(range(len(x)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(sample=sample_strategy())
+    def test_prediction_within_response_range(self, sample):
+        x, y = sample
+        tree = RegressionTree(x, y, p_min=3)
+        pred = tree.predict(np.random.default_rng(1).random((30, x.shape[1])))
+        # Leaf means cannot leave the observed response range.
+        assert pred.min() >= y.min() - 1e-12
+        assert pred.max() <= y.max() + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(sample=sample_strategy(), p_min=st.integers(1, 8))
+    def test_split_errors_are_finite_and_ordered_by_depth(self, sample, p_min):
+        x, y = sample
+        tree = RegressionTree(x, y, p_min=p_min)
+        for split in tree.splits():
+            assert np.isfinite(split.error)
+            assert split.depth >= 1
+
+
+class TestRBFProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(sample=sample_strategy(min_points=12))
+    def test_design_matrix_bounded(self, sample):
+        x, _ = sample
+        centers = x[:4]
+        radii = np.full_like(centers, 0.5)
+        h = gaussian_design_matrix(x, centers, radii)
+        assert np.all(h >= 0.0) and np.all(h <= 1.0)
+
+    @settings(max_examples=12, deadline=None)
+    @given(sample=sample_strategy(min_points=15), alpha=st.sampled_from([2.0, 5.0, 9.0]))
+    def test_build_produces_finite_predictions(self, sample, alpha):
+        x, y = sample
+        net, info = build_rbf_from_tree(x, y, p_min=2, alpha=alpha)
+        pred = net.predict(np.random.default_rng(2).random((25, x.shape[1])))
+        assert np.all(np.isfinite(pred))
+        assert 1 <= info.num_centers < len(x)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_prediction_linear_in_weights(self, seed):
+        rng = np.random.default_rng(seed)
+        centers = rng.random((3, 2))
+        radii = rng.random((3, 2)) * 0.5 + 0.1
+        w1 = rng.normal(size=3)
+        w2 = rng.normal(size=3)
+        x = rng.random((10, 2))
+        a = RBFNetwork(centers, radii, w1).predict(x)
+        b = RBFNetwork(centers, radii, w2).predict(x)
+        both = RBFNetwork(centers, radii, w1 + w2).predict(x)
+        np.testing.assert_allclose(both, a + b, rtol=1e-9)
+
+
+class TestLinearProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(sample=sample_strategy(min_points=20, max_points=60, dims=3))
+    def test_training_residuals_never_exceed_intercept_model(self, sample):
+        x, y = sample
+        model = LinearInteractionModel.fit(x, y)
+        sse_model = np.sum((model.predict(x) - y) ** 2)
+        sse_mean = np.sum((y - y.mean()) ** 2)
+        assert sse_model <= sse_mean + 1e-9
+
+
+class TestDesignSpaceProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        low=st.floats(0.5, 10.0),
+        span=st.floats(1.0, 100.0),
+        transform=st.sampled_from(["linear", "log"]),
+    )
+    def test_encode_decode_roundtrip_continuous(self, seed, low, span, transform):
+        param = Parameter("x", low, low + span, None, transform)
+        space = DesignSpace([param], name="prop")
+        rng = np.random.default_rng(seed)
+        unit = rng.random((20, 1))
+        phys = space.decode(unit)
+        back = space.encode(phys)
+        np.testing.assert_allclose(back, unit, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), levels=st.integers(2, 9))
+    def test_snapping_is_idempotent(self, seed, levels):
+        param = Parameter("x", 1.0, 65.0, levels, "log")
+        space = DesignSpace([param], name="prop")
+        rng = np.random.default_rng(seed)
+        unit = rng.random((15, 1))
+        once = space.decode(unit)
+        twice = space.decode(space.encode(once))
+        np.testing.assert_allclose(once, twice, rtol=1e-9)

@@ -1,0 +1,97 @@
+"""Tests for Pareto-front utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pareto import ParetoPoint, model_pareto, pareto_front, scalarize
+from repro.core.design_space import DesignSpace, Parameter
+from repro.models.base import Model
+
+
+class TestParetoFront:
+    def test_simple_2d(self):
+        values = np.array([
+            [1.0, 5.0],  # front
+            [2.0, 4.0],  # front
+            [3.0, 3.0],  # front
+            [3.0, 5.0],  # dominated by (1,5)? no: 3>1, 5=5 -> dominated
+            [4.0, 4.0],  # dominated by (2,4)
+        ])
+        front = pareto_front(values)
+        assert list(front) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert list(pareto_front(np.array([[1.0, 2.0]]))) == [0]
+
+    def test_identical_points_all_kept(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert len(pareto_front(values)) == 2
+
+    def test_sorted_by_first_metric(self):
+        values = np.array([[3.0, 1.0], [1.0, 3.0], [2.0, 2.0]])
+        front = pareto_front(values)
+        firsts = values[front, 0]
+        assert list(firsts) == sorted(firsts)
+
+    def test_one_dimensional(self):
+        values = np.array([[3.0], [1.0], [2.0]])
+        assert list(pareto_front(values)) == [1]
+
+
+class _Linear(Model):
+    def __init__(self, direction):
+        self.direction = direction
+        self.dimension = 2
+
+    def predict(self, pts):
+        pts = np.atleast_2d(pts)
+        return pts @ np.asarray(self.direction)
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(
+        [Parameter("a", 0, 1, None), Parameter("b", 0, 1, None)],
+        name="pareto",
+    )
+
+
+class TestModelPareto:
+    def test_conflicting_objectives_produce_a_front(self, space):
+        models = {"x": _Linear([1.0, 0.0]), "y": _Linear([-1.0, 0.0])}
+        front = model_pareto(models, space, candidates=256, seed=1)
+        # Objectives are exact opposites: every point is non-dominated
+        # only along the trade-off; the front must span both extremes.
+        xs = [p.metrics["x"] for p in front]
+        assert min(xs) < 0.1 and max(xs) > 0.9
+
+    def test_aligned_objectives_collapse_front(self, space):
+        models = {"x": _Linear([1.0, 1.0]), "y": _Linear([1.0, 1.0])}
+        front = model_pareto(models, space, candidates=256, seed=1)
+        assert len(front) == 1  # one best point dominates
+
+    def test_front_points_carry_physical_values(self, space):
+        models = {"x": _Linear([1.0, 0.0]), "y": _Linear([0.0, 1.0])}
+        front = model_pareto(models, space, candidates=128, seed=2)
+        for p in front:
+            assert set(p.point) == {"a", "b"}
+
+    def test_empty_models_rejected(self, space):
+        with pytest.raises(ValueError):
+            model_pareto({}, space)
+
+
+class TestScalarize:
+    def test_weighted_pick(self):
+        front = [
+            ParetoPoint({"a": 0}, {"cpi": 1.0, "power": 10.0}),
+            ParetoPoint({"a": 1}, {"cpi": 2.0, "power": 2.0}),
+        ]
+        # Weighting CPI heavily picks the low-CPI point...
+        assert scalarize(front, {"cpi": 3, "power": 1}).metrics["cpi"] == 1.0
+        # ...weighting power heavily picks the low-power point.
+        assert scalarize(front, {"cpi": 1, "power": 3}).metrics["power"] == 2.0
+
+    def test_empty_front_rejected(self):
+        with pytest.raises(ValueError):
+            scalarize([], {"cpi": 1})

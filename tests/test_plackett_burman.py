@@ -1,0 +1,57 @@
+"""Tests for Plackett-Burman designs (the screening-design baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.plackett_burman import foldover, pb_to_unit, plackett_burman
+
+
+@pytest.mark.parametrize("factors", [3, 7, 9, 11, 15, 19, 23])
+def test_design_shape(factors):
+    d = plackett_burman(factors)
+    runs, cols = d.shape
+    assert cols == factors
+    assert runs % 4 == 0
+    assert runs > factors
+
+
+@pytest.mark.parametrize("factors", [3, 7, 9, 11, 19, 23])
+def test_columns_orthogonal(factors):
+    d = plackett_burman(factors).astype(float)
+    gram = d.T @ d
+    off_diag = gram - np.diag(np.diag(gram))
+    # Plackett-Burman columns are mutually orthogonal.
+    np.testing.assert_allclose(off_diag, 0.0, atol=1e-9)
+
+
+def test_entries_are_plus_minus_one():
+    d = plackett_burman(9)
+    assert set(np.unique(d)) <= {-1, 1}
+
+
+def test_nine_factors_uses_twelve_runs():
+    # The classic PB12 construction covers up to 11 factors — the paper's
+    # 9-parameter space screens in 12 runs.
+    assert plackett_burman(9).shape[0] == 12
+
+
+def test_foldover_doubles_runs_and_negates():
+    d = plackett_burman(9)
+    f = foldover(d)
+    assert f.shape == (2 * d.shape[0], d.shape[1])
+    np.testing.assert_array_equal(f[d.shape[0]:], -d)
+
+
+def test_foldover_balances_every_column():
+    f = foldover(plackett_burman(9))
+    np.testing.assert_array_equal(f.sum(axis=0), np.zeros(9))
+
+
+def test_pb_to_unit_maps_to_cube_corners():
+    u = pb_to_unit(plackett_burman(5))
+    assert set(np.unique(u)) <= {0.0, 1.0}
+
+
+def test_invalid_factor_count():
+    with pytest.raises(ValueError):
+        plackett_burman(0)

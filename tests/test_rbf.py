@@ -1,0 +1,155 @@
+"""Tests for RBF networks and their tree-based construction."""
+
+import numpy as np
+import pytest
+
+from repro.models.rbf import (
+    RBFNetwork,
+    build_rbf_from_tree,
+    gaussian_design_matrix,
+    search_rbf_model,
+)
+
+
+class TestDesignMatrix:
+    def test_unit_response_at_center(self):
+        h = gaussian_design_matrix(
+            np.array([[0.3, 0.7]]), np.array([[0.3, 0.7]]), np.array([[0.1, 0.1]])
+        )
+        assert h[0, 0] == pytest.approx(1.0)
+
+    def test_matches_paper_equation(self):
+        # h(x) = exp(-sum_k (x_k - c_k)^2 / r_k^2)  (Eq. 2)
+        x = np.array([[0.5, 0.2]])
+        c = np.array([[0.1, 0.6]])
+        r = np.array([[0.4, 0.8]])
+        expected = np.exp(-((0.4 / 0.4) ** 2 + (0.4 / 0.8) ** 2))
+        h = gaussian_design_matrix(x, c, r)
+        assert h[0, 0] == pytest.approx(expected)
+
+    def test_anisotropic_radii(self):
+        # Same offset along each axis, but a larger radius in axis 1 means
+        # less decay from that axis.
+        x = np.array([[0.2, 0.0], [0.0, 0.2]])
+        c = np.zeros((1, 2))
+        r = np.array([[0.1, 1.0]])
+        h = gaussian_design_matrix(x, c, r)
+        assert h[0, 0] < h[1, 0]
+
+    def test_empty_centers(self):
+        h = gaussian_design_matrix(np.zeros((3, 2)), np.zeros((0, 2)), np.zeros((0, 2)))
+        assert h.shape == (3, 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gaussian_design_matrix(np.zeros((2, 2)), np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+class TestRBFNetwork:
+    def test_predict_is_weighted_sum(self):
+        net = RBFNetwork(
+            centers=np.array([[0.0], [1.0]]),
+            radii=np.array([[0.5], [0.5]]),
+            weights=np.array([2.0, -1.0]),
+        )
+        x = np.array([[0.0]])
+        expected = 2.0 * 1.0 - 1.0 * np.exp(-4.0)
+        assert net.predict(x)[0] == pytest.approx(expected)
+
+    def test_accepts_1d_point(self):
+        net = RBFNetwork(np.array([[0.5, 0.5]]), np.array([[1, 1]]), np.array([1.0]))
+        assert net.predict(np.array([0.5, 0.5])).shape == (1,)
+
+    def test_dimension_check(self):
+        net = RBFNetwork(np.array([[0.5, 0.5]]), np.array([[1, 1]]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            net.predict(np.zeros((3, 5)))
+
+    def test_weight_count_check(self):
+        with pytest.raises(ValueError):
+            RBFNetwork(np.zeros((2, 2)), np.ones((2, 2)), np.array([1.0]))
+
+    def test_describe_lists_units(self):
+        net = RBFNetwork(np.zeros((2, 3)), np.ones((2, 3)), np.array([1.0, 2.0]))
+        text = net.describe()
+        assert "2 Gaussian units" in text
+        assert "unit 0" in text and "unit 1" in text
+
+
+class TestBuildFromTree:
+    def _sample(self, rng, n=60):
+        x = rng.random((n, 2))
+        y = 1.0 + np.sin(3 * x[:, 0]) + x[:, 1] ** 2
+        return x, y
+
+    def test_interpolates_smooth_function(self, rng):
+        x, y = self._sample(rng)
+        net, info = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        pred = net.predict(x)
+        rmse = np.sqrt(np.mean((pred - y) ** 2))
+        assert rmse < 0.1 * y.std()
+
+    def test_generalizes_to_new_points(self, rng):
+        x, y = self._sample(rng, n=80)
+        net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        xt = rng.random((40, 2))
+        yt = 1.0 + np.sin(3 * xt[:, 0]) + xt[:, 1] ** 2
+        err = np.abs(net.predict(xt) - yt) / np.abs(yt)
+        assert err.mean() < 0.05
+
+    def test_info_consistency(self, rng):
+        x, y = self._sample(rng)
+        net, info = build_rbf_from_tree(x, y, p_min=3, alpha=5.0)
+        assert info.p_min == 3
+        assert info.alpha == 5.0
+        assert info.num_centers == net.num_centers
+        assert info.num_centers <= info.num_candidates
+        assert len(info.selected_nodes) == info.num_centers
+
+    def test_fewer_centers_than_sample(self, rng):
+        # Paper: the number of centers stays well below the sample size
+        # (AICc penalises complexity).
+        x, y = self._sample(rng, n=100)
+        _, info = build_rbf_from_tree(x, y, p_min=1, alpha=6.0)
+        assert info.num_centers < 100
+
+    def test_radii_scale_with_alpha(self, rng):
+        x, y = self._sample(rng)
+        net_small, _ = build_rbf_from_tree(x, y, p_min=2, alpha=2.0)
+        net_large, _ = build_rbf_from_tree(x, y, p_min=2, alpha=8.0)
+        assert net_large.radii.mean() > net_small.radii.mean()
+
+    def test_constant_data(self):
+        x = np.linspace(0, 1, 10)[:, None]
+        y = np.full(10, 3.0)
+        net, info = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        assert net.predict(np.array([[0.5]]))[0] == pytest.approx(3.0, rel=1e-3)
+
+    def test_max_candidates_cap(self, rng):
+        x, y = self._sample(rng, n=80)
+        _, info = build_rbf_from_tree(x, y, p_min=1, alpha=4.0, max_candidates=9)
+        assert info.num_candidates <= 9
+
+    def test_criterion_choices(self, rng):
+        x, y = self._sample(rng, n=40)
+        for criterion in ("aic", "aicc", "bic"):
+            net, info = build_rbf_from_tree(x, y, p_min=2, alpha=4.0, criterion=criterion)
+            assert info.criterion_name == criterion
+            assert np.isfinite(info.criterion_value)
+
+
+class TestSearch:
+    def test_search_returns_lowest_criterion(self, rng):
+        x = rng.random((50, 2))
+        y = x[:, 0] ** 2 + 0.5 * x[:, 1]
+        result = search_rbf_model(x, y, p_min_grid=(1, 3), alpha_grid=(2.0, 5.0, 8.0))
+        assert len(result.tried) == 6
+        best = min(result.tried, key=lambda i: i.criterion_value)
+        assert result.info.criterion_value == best.criterion_value
+
+    def test_search_best_params_within_grid(self, rng):
+        x = rng.random((40, 2))
+        y = np.sin(4 * x[:, 0])
+        result = search_rbf_model(x, y, p_min_grid=(1, 2), alpha_grid=(3.0, 6.0))
+        assert result.info.p_min in (1, 2)
+        assert result.info.alpha in (3.0, 6.0)

@@ -1,0 +1,79 @@
+"""Tests for the reference simulator and cross-simulator trend validation."""
+
+import pytest
+
+from repro.core.design_space import paper_design_space
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.refsim import ReferenceSimulator
+from repro.simulator.trace import empty_trace
+from repro.simulator.validation import sweep_parameter, validate_trends
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES
+
+TRACE = generate_trace(PROFILES["parser"], 3000, seed=21)
+
+BASE = {
+    "pipe_depth": 14, "rob_size": 64, "iq_frac": 0.5, "lsq_frac": 0.5,
+    "l2_size_kb": 1024, "l2_lat": 12, "il1_size_kb": 32,
+    "dl1_size_kb": 32, "dl1_lat": 2,
+}
+
+
+class TestReferenceSimulator:
+    def test_empty_trace(self):
+        result = ReferenceSimulator(ProcessorConfig()).run(empty_trace())
+        assert result.instructions == 0
+
+    def test_produces_positive_cpi(self):
+        result = ReferenceSimulator(ProcessorConfig()).run(TRACE)
+        assert result.cpi > 0.25
+
+    def test_latency_monotone(self):
+        fast = ReferenceSimulator(ProcessorConfig(l2_lat=5)).run(TRACE)
+        slow = ReferenceSimulator(ProcessorConfig(l2_lat=20)).run(TRACE)
+        assert slow.cpi > fast.cpi
+
+    def test_depth_increases_cpi(self):
+        shallow = ReferenceSimulator(ProcessorConfig(pipe_depth=7)).run(TRACE)
+        deep = ReferenceSimulator(ProcessorConfig(pipe_depth=24)).run(TRACE)
+        assert deep.cpi > shallow.cpi
+
+    def test_reports_miss_rates(self):
+        result = ReferenceSimulator(ProcessorConfig()).run(TRACE)
+        assert 0 < result.dl1_miss_rate < 1
+
+
+class TestTrendValidation:
+    def test_sweep_structure(self):
+        space = paper_design_space()
+        report = sweep_parameter(space, BASE, "l2_lat", [5, 12, 20], TRACE)
+        assert report.parameter == "l2_lat"
+        assert len(report.detailed_cpi) == 3
+        assert len(report.reference_cpi) == 3
+
+    def test_l2_latency_trend_agreement(self):
+        # The methodological check from the paper: both simulators must
+        # agree on trend direction for a first-order parameter.
+        space = paper_design_space()
+        report = sweep_parameter(space, BASE, "l2_lat", [5, 10, 15, 20], TRACE)
+        assert report.agreement >= 0.99
+
+    def test_dl1_lat_trend_agreement(self):
+        space = paper_design_space()
+        report = sweep_parameter(space, BASE, "dl1_lat", [1, 2, 3, 4], TRACE)
+        assert report.agreement >= 0.99
+
+    def test_validate_trends_runs_all_sweeps(self):
+        space = paper_design_space()
+        reports = validate_trends(
+            space, BASE, TRACE,
+            {"l2_lat": [5, 20], "pipe_depth": [7, 24]},
+        )
+        assert [r.parameter for r in reports] == ["l2_lat", "pipe_depth"]
+        assert all(r.agreement >= 0.5 for r in reports)
+
+    def test_flat_steps_count_as_agreement(self):
+        space = paper_design_space()
+        # Sweeping within a tiny range: near-flat response should not fail.
+        report = sweep_parameter(space, BASE, "l2_lat", [12, 13], TRACE)
+        assert 0.0 <= report.agreement <= 1.0

@@ -1,0 +1,90 @@
+"""Tests for functional-unit pools and structural hazards."""
+
+import pytest
+
+from repro.simulator import isa
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.resources import FUPool, ResourceSet
+
+
+class TestFUPool:
+    def test_free_unit_starts_immediately(self):
+        pool = FUPool("ialu", 2)
+        assert pool.request(5.0, interval=1) == 5.0
+
+    def test_contention_serialises(self):
+        pool = FUPool("div", 1)
+        assert pool.request(0.0, interval=10) == 0.0
+        # Second request at t=2 must wait for the unpipelined unit.
+        assert pool.request(2.0, interval=10) == 10.0
+
+    def test_multiple_units_overlap(self):
+        pool = FUPool("alu", 2)
+        assert pool.request(0.0, interval=5) == 0.0
+        assert pool.request(0.0, interval=5) == 0.0
+        assert pool.request(0.0, interval=5) == 5.0
+
+    def test_picks_earliest_free_unit(self):
+        pool = FUPool("alu", 2)
+        pool.request(0.0, interval=10)  # unit A busy until 10
+        pool.request(0.0, interval=2)  # unit B busy until 2
+        assert pool.request(1.0, interval=1) == 2.0  # unit B again
+
+    def test_wait_accounting(self):
+        pool = FUPool("div", 1)
+        pool.request(0.0, interval=10)
+        pool.request(0.0, interval=10)
+        assert pool.total_wait == 10.0
+        assert pool.mean_wait == 5.0
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            FUPool("x", 0)
+
+
+class TestResourceSet:
+    def test_pipelined_alu_has_unit_interval(self):
+        rs = ResourceSet(ProcessorConfig(num_ialu=1))
+        assert rs.request(isa.IALU, 0.0) == 0.0
+        assert rs.request(isa.IALU, 0.0) == 1.0
+
+    def test_unpipelined_divider_blocks(self):
+        rs = ResourceSet(ProcessorConfig(num_imult=1))
+        rs.request(isa.IDIV, 0.0)
+        lat, interval = isa.OP_TIMING[isa.IDIV]
+        assert rs.request(isa.IDIV, 0.0) == interval
+
+    def test_div_and_mult_share_pool(self):
+        rs = ResourceSet(ProcessorConfig(num_imult=1))
+        rs.request(isa.IDIV, 0.0)
+        assert rs.request(isa.IMULT, 0.0) > 0.0
+
+    def test_mem_ports_limit(self):
+        rs = ResourceSet(ProcessorConfig(num_mem_ports=2))
+        assert rs.request(isa.LOAD, 0.0) == 0.0
+        assert rs.request(isa.STORE, 0.0) == 0.0
+        assert rs.request(isa.LOAD, 0.0) == 1.0
+
+    def test_stats(self):
+        rs = ResourceSet(ProcessorConfig())
+        rs.request(isa.IALU, 0.0)
+        stats = rs.stats()
+        assert "fu_ialu_mean_wait" in stats
+
+
+class TestIsa:
+    def test_all_ops_have_timing_and_fu(self):
+        for op in range(isa.NUM_OP_CLASSES):
+            assert op in isa.OP_TIMING
+            assert op in isa.FU_CLASS
+            assert isa.op_name(op)
+
+    def test_predicates(self):
+        assert isa.is_memory(isa.LOAD) and isa.is_memory(isa.STORE)
+        assert not isa.is_memory(isa.IALU)
+        assert isa.is_control(isa.BRANCH) and isa.is_control(isa.JUMP)
+        assert not isa.is_control(isa.FPALU)
+
+    def test_unknown_op_name(self):
+        with pytest.raises(ValueError):
+            isa.op_name(99)

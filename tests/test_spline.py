@@ -1,0 +1,95 @@
+"""Tests for the regression-spline baseline (Lee & Brooks family)."""
+
+import numpy as np
+import pytest
+
+from repro.models.spline import Hinge, SplineModel, SplineTerm
+
+
+class TestHinge:
+    def test_positive_hinge(self):
+        h = Hinge(0, 0.5, +1)
+        x = np.array([[0.2], [0.8]])
+        np.testing.assert_allclose(h.evaluate(x), [0.0, 0.3])
+
+    def test_negative_hinge(self):
+        h = Hinge(0, 0.5, -1)
+        x = np.array([[0.2], [0.8]])
+        np.testing.assert_allclose(h.evaluate(x), [0.3, 0.0])
+
+    def test_labels(self):
+        assert "x0" in Hinge(0, 0.5, +1).label()
+        assert SplineTerm(()).label() == "1"
+
+
+class TestSplineTerm:
+    def test_product_of_hinges(self):
+        term = SplineTerm((Hinge(0, 0.0, +1), Hinge(1, 0.0, +1)))
+        x = np.array([[0.5, 0.4]])
+        assert term.evaluate(x)[0] == pytest.approx(0.2)
+
+    def test_intercept_term(self):
+        term = SplineTerm(())
+        np.testing.assert_allclose(term.evaluate(np.zeros((3, 2))), 1.0)
+
+    def test_degree(self):
+        assert SplineTerm(()).degree() == 0
+        assert SplineTerm((Hinge(0, 0.1, 1),)).degree() == 1
+
+
+class TestFit:
+    def test_recovers_piecewise_linear_function(self, rng):
+        x = rng.random((80, 2))
+        y = 1.0 + 2.0 * np.maximum(0, x[:, 0] - 0.5)
+        model = SplineModel.fit(x, y, max_terms=10)
+        xt = rng.random((40, 2))
+        yt = 1.0 + 2.0 * np.maximum(0, xt[:, 0] - 0.5)
+        assert np.abs(model.predict(xt) - yt).max() < 0.15
+
+    def test_approximates_smooth_function(self, rng):
+        x = rng.random((100, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1] ** 2
+        model = SplineModel.fit(x, y, max_terms=20)
+        xt = rng.random((50, 2))
+        yt = np.sin(3 * xt[:, 0]) + xt[:, 1] ** 2
+        rmse = np.sqrt(np.mean((model.predict(xt) - yt) ** 2))
+        assert rmse < 0.15
+
+    def test_interaction_terms_when_needed(self, rng):
+        x = rng.random((120, 2))
+        y = 3.0 * x[:, 0] * x[:, 1]
+        model = SplineModel.fit(x, y, max_terms=16, max_degree=2)
+        assert any(t.degree() == 2 for t in model.terms)
+
+    def test_additive_only_when_degree_one(self, rng):
+        x = rng.random((60, 2))
+        y = x[:, 0] + x[:, 1]
+        model = SplineModel.fit(x, y, max_terms=10, max_degree=1)
+        assert all(t.degree() <= 1 for t in model.terms)
+
+    def test_pruning_keeps_model_small_on_simple_data(self, rng):
+        x = rng.random((80, 3))
+        y = 2.0 * x[:, 0] + 0.01 * rng.normal(size=80)
+        model = SplineModel.fit(x, y, max_terms=20)
+        assert len(model.terms) < 12
+
+    def test_constant_data(self, rng):
+        x = rng.random((20, 2))
+        model = SplineModel.fit(x, np.full(20, 5.0), max_terms=6)
+        assert model.predict(rng.random((5, 2))) == pytest.approx(5.0)
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            SplineModel.fit(rng.random((10, 2)), np.zeros(9))
+
+    def test_describe_and_repr(self, rng):
+        x = rng.random((30, 2))
+        model = SplineModel.fit(x, x[:, 0], max_terms=6)
+        assert model.describe().startswith("y = ")
+        assert "SplineModel" in repr(model)
+
+    def test_dimension_check(self, rng):
+        x = rng.random((30, 3))
+        model = SplineModel.fit(x, x[:, 0], max_terms=6)
+        with pytest.raises(ValueError):
+            model.predict(rng.random((5, 2)))

@@ -1,0 +1,134 @@
+"""Tests for the statistical-simulation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import isa
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.simulator import simulate
+from repro.statsim import StatisticalSimulator, profile_trace, synthesize_trace
+from repro.workloads.characterize import characterize
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES
+
+SOURCE = generate_trace(PROFILES["twolf"], 12000, seed=8)
+
+
+@pytest.fixture(scope="module")
+def stat_profile():
+    return profile_trace(SOURCE)
+
+
+class TestProfile:
+    def test_mix_measured(self, stat_profile):
+        assert isa.LOAD in stat_profile.op_mix
+        assert abs(sum(stat_profile.op_mix.values()) - 1.0) < 1e-9
+
+    def test_block_lengths_probabilities(self, stat_profile):
+        total = sum(p for _, p in stat_profile.block_lengths)
+        assert total == pytest.approx(1.0)
+        assert all(length >= 1 for length, _ in stat_profile.block_lengths)
+
+    def test_reuse_octaves_include_cold_bucket(self, stat_profile):
+        bounds = [b for b, _ in stat_profile.reuse_octaves]
+        assert 0 in bounds  # compulsory share
+        total = sum(p for _, p in stat_profile.reuse_octaves)
+        assert total == pytest.approx(1.0)
+
+    def test_branch_statistics(self, stat_profile):
+        assert 0.5 <= stat_profile.branch_bias <= 1.0
+        assert 0.0 <= stat_profile.taken_frac <= 1.0
+        assert stat_profile.num_branch_sites > 10
+
+    def test_empty_trace_rejected(self):
+        from repro.simulator.trace import empty_trace
+
+        with pytest.raises(ValueError):
+            profile_trace(empty_trace())
+
+
+class TestSynthesis:
+    def test_length_and_validity(self, stat_profile):
+        synth = synthesize_trace(stat_profile, 5000, seed=1)
+        assert len(synth) == 5000
+        synth.validate()
+
+    def test_deterministic(self, stat_profile):
+        a = synthesize_trace(stat_profile, 3000, seed=2)
+        b = synthesize_trace(stat_profile, 3000, seed=2)
+        np.testing.assert_array_equal(a.addr, b.addr)
+
+    def test_mix_matches_source(self, stat_profile):
+        synth = synthesize_trace(stat_profile, 8000, seed=3)
+        src_char = characterize(SOURCE)
+        syn_char = characterize(synth)
+        assert syn_char.memory_fraction() == pytest.approx(
+            src_char.memory_fraction(), rel=0.25
+        )
+        assert syn_char.branch_fraction == pytest.approx(
+            src_char.branch_fraction, rel=0.3
+        )
+
+    def test_locality_reproduced(self, stat_profile):
+        # The synthetic trace must produce a D-L1 miss rate in the same
+        # class as the source — the whole point of reuse-distance-driven
+        # synthesis.
+        synth = synthesize_trace(stat_profile, 8000, seed=4)
+        config = ProcessorConfig()
+        src = simulate(config, SOURCE)
+        syn = simulate(config, synth)
+        assert syn.dl1_miss_rate == pytest.approx(src.dl1_miss_rate, abs=0.12)
+
+
+class TestEstimator:
+    def test_estimates_in_right_class(self):
+        estimator = StatisticalSimulator(SOURCE, synthetic_length=6000, seed=5)
+        config = ProcessorConfig()
+        true_cpi = simulate(config, SOURCE).cpi
+        est_cpi = estimator.cpi_config(config)
+        assert est_cpi == pytest.approx(true_cpi, rel=0.5)
+
+    def test_tracks_latency_trend(self):
+        estimator = StatisticalSimulator(SOURCE, synthetic_length=6000, seed=5)
+        fast = estimator.cpi_config(ProcessorConfig(l2_lat=5))
+        slow = estimator.cpi_config(ProcessorConfig(l2_lat=20))
+        assert slow > fast
+
+    def test_vectorised_interface(self):
+        from repro.core.design_space import paper_design_space
+
+        estimator = StatisticalSimulator(SOURCE, synthetic_length=4000, seed=6)
+        space = paper_design_space()
+        point = space.as_array({
+            "pipe_depth": 12, "rob_size": 64, "iq_frac": 0.5, "lsq_frac": 0.5,
+            "l2_size_kb": 1024, "l2_lat": 12, "il1_size_kb": 32,
+            "dl1_size_kb": 32, "dl1_lat": 2,
+        })
+        values = estimator.cpi(np.vstack([point, point]))
+        assert values.shape == (2,)
+        assert estimator.simulations_run == 2
+
+    def test_accepts_profile_directly(self, stat_profile):
+        estimator = StatisticalSimulator(stat_profile, synthetic_length=2000)
+        assert estimator.cpi_config(ProcessorConfig()) > 0
+
+    def test_rejects_other_sources(self):
+        with pytest.raises(TypeError):
+            StatisticalSimulator([1, 2, 3])
+
+
+class TestLoadChainStatistic:
+    def test_mcf_more_chained_than_equake(self):
+        mcf = profile_trace(generate_trace(PROFILES["mcf"], 8000, seed=9))
+        equake = profile_trace(generate_trace(PROFILES["equake"], 8000, seed=9))
+        assert mcf.load_load_dep_frac > equake.load_load_dep_frac
+
+    def test_fraction_in_unit_range(self, stat_profile):
+        assert 0.0 <= stat_profile.load_load_dep_frac <= 1.0
+
+    def test_synthesis_reproduces_chaining(self, stat_profile):
+        synth = synthesize_trace(stat_profile, 8000, seed=7)
+        measured = profile_trace(synth)
+        assert measured.load_load_dep_frac == pytest.approx(
+            stat_profile.load_load_dep_frac, abs=0.12
+        )

@@ -1,0 +1,115 @@
+"""Tests for the address-stream primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.streams import (
+    ChaseStream,
+    HotStream,
+    StackStream,
+    StridedStream,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestStackStream:
+    def test_within_region_and_aligned(self, rng):
+        s = StackStream(4096)
+        for _ in range(200):
+            a = s.next(rng)
+            assert s.base <= a < s.base + 4096
+            assert a % 8 == 0
+
+    def test_concentrated_near_base(self, rng):
+        s = StackStream(4096)
+        offsets = np.array([s.next(rng) - s.base for _ in range(2000)])
+        # Squared-uniform: median well below the midpoint.
+        assert np.median(offsets) < 2048 * 0.6
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            StackStream(4)
+
+
+class TestHotStream:
+    def test_within_region(self, rng):
+        s = HotStream(32 * 1024)
+        offsets = np.array([s.next(rng) - s.base for _ in range(3000)])
+        assert offsets.min() >= 0 and offsets.max() < 32 * 1024
+
+    def test_heavy_core(self, rng):
+        s = HotStream(32 * 1024)
+        offsets = np.array([s.next(rng) - s.base for _ in range(5000)])
+        # Fourth-power law: half the mass in the lowest ~6% of the region.
+        core_fraction = np.mean(offsets < 32 * 1024 * 0.0625)
+        assert core_fraction > 0.4
+
+
+class TestStridedStream:
+    def test_sequential_within_stream(self, rng):
+        s = StridedStream(1 << 20, stride=16, num_streams=2, segment_bytes=4096)
+        a1 = s.next(rng)  # stream 0
+        s.next(rng)  # stream 1
+        a2 = s.next(rng)  # stream 0 again
+        assert a2 - a1 == 16
+
+    def test_wraps_within_segment(self, rng):
+        seg = 256
+        s = StridedStream(1 << 20, stride=64, num_streams=1, segment_bytes=seg)
+        addrs = [s.next(rng) for _ in range(8)]
+        assert addrs[4] == addrs[0]  # wrapped after seg/stride = 4 accesses
+
+    def test_streams_disjoint_origins(self, rng):
+        s = StridedStream(1 << 20, stride=16, num_streams=4, segment_bytes=4096)
+        first_round = [s.next(rng) for _ in range(4)]
+        assert len(set(first_round)) == 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StridedStream(32, stride=16, num_streams=4)
+        with pytest.raises(ValueError):
+            StridedStream(1 << 20, stride=64, num_streams=1, segment_bytes=32)
+
+
+class TestChaseStream:
+    def test_within_region(self, rng):
+        s = ChaseStream(1 << 20)
+        for _ in range(500):
+            a = s.next(rng)
+            assert s.base <= a < s.base + (1 << 20)
+
+    def test_produces_reuse(self, rng):
+        s = ChaseStream(1 << 20, reuse_frac=0.8, min_distance=8)
+        addrs = [s.next(rng) for _ in range(3000)]
+        unique_fraction = len(set(addrs)) / len(addrs)
+        # With 80% reuse the unique fraction must be far below 1.
+        assert unique_fraction < 0.5
+
+    def test_no_reuse_mode(self, rng):
+        s = ChaseStream(1 << 26, reuse_frac=0.0)
+        addrs = [s.next(rng) for _ in range(1000)]
+        assert len(set(addrs)) > 990
+
+    def test_reuse_distances_span_octaves(self, rng):
+        s = ChaseStream(1 << 22, reuse_frac=0.7, min_distance=8)
+        addrs = [s.next(rng) for _ in range(8000)]
+        last_seen = {}
+        distances = []
+        for i, a in enumerate(addrs):
+            if a in last_seen:
+                distances.append(i - last_seen[a])
+            last_seen[a] = i
+        distances = np.array(distances)
+        # Reuses occur both at short (< 64) and long (> 1024) distances.
+        assert (distances < 64).sum() > 10
+        assert (distances > 1024).sum() > 10
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ChaseStream(64)
+        with pytest.raises(ValueError):
+            ChaseStream(1 << 20, reuse_frac=1.5)

@@ -1,0 +1,128 @@
+"""Golden timing tests: exact cycle behaviour of crafted micro-traces.
+
+Where test_ooo_core checks qualitative behaviour, these tests pin down
+*exact* timestamp arithmetic for tiny traces, so any change to the timing
+semantics is caught at cycle granularity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import isa
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.ooo_core import OutOfOrderCore
+from repro.simulator.trace import Trace
+
+
+def trace_of(rows):
+    n = len(rows)
+    return Trace(
+        op=np.array([r[0] for r in rows], dtype=np.int8),
+        src1=np.array([r[1] for r in rows], dtype=np.int32),
+        src2=np.array([r[2] for r in rows], dtype=np.int32),
+        addr=np.array([r[3] for r in rows], dtype=np.int64),
+        pc=np.array([(i * 4) % 64 for i in range(n)], dtype=np.int64) + 0x400000,
+        taken=np.array([r[4] for r in rows]),
+    )
+
+
+def timeline(rows, **cfg):
+    core = OutOfOrderCore(ProcessorConfig(**cfg))
+    core.run(trace_of(rows), collect_timeline=True, warmup=0)
+    return core.timeline
+
+
+ALU = (isa.IALU, 0, 0, 0, False)
+
+
+class TestFrontEndArithmetic:
+    def test_dispatch_is_fetch_plus_front_depth(self):
+        tl = timeline([ALU], pipe_depth=12)
+        assert tl.dispatch[0] - tl.fetch[0] == ProcessorConfig(pipe_depth=12).front_depth
+
+    def test_fetch_groups_of_width(self):
+        tl = timeline([ALU] * 8)
+        # Same warmed line: first 4 in cycle f, next 4 in f+1.
+        assert tl.fetch[3] == tl.fetch[0]
+        assert tl.fetch[4] == tl.fetch[0] + 1
+
+    def test_single_alu_completes_one_cycle_after_issue(self):
+        tl = timeline([ALU])
+        assert tl.complete[0] == tl.issue[0] + 1
+
+    def test_commit_one_cycle_after_complete(self):
+        tl = timeline([ALU])
+        assert tl.commit[0] == tl.complete[0] + 1
+
+
+class TestDependenceArithmetic:
+    def test_chain_spacing_exactly_one_cycle(self):
+        rows = [ALU] + [(isa.IALU, 1, 0, 0, False)] * 4
+        tl = timeline(rows)
+        for i in range(1, 5):
+            assert tl.complete[i] == tl.complete[i - 1] + 1
+
+    def test_multiply_latency_in_chain(self):
+        mul_lat = isa.OP_TIMING[isa.IMULT][0]
+        rows = [(isa.IMULT, 0, 0, 0, False), (isa.IALU, 1, 0, 0, False)]
+        tl = timeline(rows)
+        # The ALU op issues when the multiply completes.
+        assert tl.issue[1] == tl.complete[0]
+        assert tl.complete[0] - tl.issue[0] == mul_lat
+
+    def test_second_operand_also_waited_on(self):
+        rows = [ALU, (isa.IMULT, 0, 0, 0, False), (isa.IALU, 2, 1, 0, False)]
+        tl = timeline(rows)
+        assert tl.issue[2] >= tl.complete[1]
+
+
+class TestMemoryArithmetic:
+    def test_warm_load_latency_exact(self):
+        rows = [(isa.LOAD, 0, 0, 0x2000, False)] * 3
+        for lat in (1, 4):
+            tl = timeline(rows, dl1_lat=lat)
+            # Third access: line warm, no port conflict carryover.
+            assert tl.complete[2] - tl.issue[2] == lat
+
+    def test_forwarded_load_is_one_cycle(self):
+        rows = [
+            (isa.STORE, 0, 0, 0x2000, False),
+            (isa.LOAD, 0, 0, 0x2000, False),
+        ]
+        tl = timeline(rows)
+        assert tl.complete[1] - max(tl.issue[1], tl.complete[0]) == 1
+
+    def test_l2_hit_latency_exact(self):
+        # Warm the line into L2, evict from dl1, then measure.
+        dl1_kb, line = 8, 64
+        sweep = [(isa.LOAD, 0, 0, 0x800000 + i * line, False)
+                 for i in range(dl1_kb * 1024 // line * 2)]
+        rows = ([(isa.LOAD, 0, 0, 0x2000, False)] + sweep
+                + [(isa.IALU, 0, 0, 0, False)] * 64
+                + [(isa.LOAD, 0, 0, 0x2000, False)])
+        tl = timeline(rows, dl1_size_kb=dl1_kb, dl1_lat=2, l2_lat=11,
+                      l2_size_kb=8192, rob_size=128, iq_size=64, lsq_size=64,
+                      num_mem_ports=4)
+        # Last load: dl1 miss (evicted), l2 hit: dl1_lat + l2_lat.
+        assert tl.complete[-1] - tl.issue[-1] == 2 + 11
+
+
+class TestStructuralArithmetic:
+    def test_divider_initiation_interval(self):
+        interval = isa.OP_TIMING[isa.IDIV][1]
+        rows = [(isa.IDIV, 0, 0, 0, False)] * 2
+        tl = timeline(rows)
+        assert tl.issue[1] - tl.issue[0] == interval
+
+    def test_commit_width_throughput(self):
+        tl = timeline([ALU] * 12)
+        # Steady state: exactly 4 commits per cycle.
+        commits = tl.commit
+        assert commits[11] - commits[3] == 2.0
+
+    def test_rob_dispatch_gating_exact(self):
+        # With ROB = 4, instruction 4 dispatches the cycle after
+        # instruction 0 commits.
+        rows = [(isa.IMULT, 0, 0, 0, False)] + [ALU] * 8
+        tl = timeline(rows, rob_size=4, iq_size=4, lsq_size=4)
+        assert tl.dispatch[4] == tl.commit[0] + 1

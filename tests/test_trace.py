@@ -1,0 +1,78 @@
+"""Tests for the trace representation and its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import isa
+from repro.simulator.trace import Trace, empty_trace
+
+
+def make_trace(**overrides):
+    fields = dict(
+        op=np.array([isa.IALU, isa.LOAD, isa.BRANCH], dtype=np.int8),
+        src1=np.array([0, 1, 2], dtype=np.int32),
+        src2=np.zeros(3, dtype=np.int32),
+        addr=np.array([0, 0x1000, 0], dtype=np.int64),
+        pc=np.array([0x400000, 0x400004, 0x400008], dtype=np.int64),
+        taken=np.array([False, False, True]),
+    )
+    fields.update(overrides)
+    return Trace(**fields)
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        make_trace().validate()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_trace(src1=np.zeros(2, dtype=np.int32))
+
+    def test_negative_distance(self):
+        with pytest.raises(ValueError):
+            make_trace(src1=np.array([0, -1, 0], dtype=np.int32)).validate()
+
+    def test_distance_beyond_start(self):
+        with pytest.raises(ValueError):
+            make_trace(src1=np.array([1, 0, 0], dtype=np.int32)).validate()
+
+    def test_memory_op_needs_address(self):
+        with pytest.raises(ValueError):
+            make_trace(addr=np.zeros(3, dtype=np.int64)).validate()
+
+    def test_non_control_cannot_be_taken(self):
+        with pytest.raises(ValueError):
+            make_trace(taken=np.array([True, False, True])).validate()
+
+    def test_jump_must_be_taken(self):
+        t = make_trace(
+            op=np.array([isa.IALU, isa.LOAD, isa.JUMP], dtype=np.int8),
+            taken=np.array([False, False, False]),
+        )
+        with pytest.raises(ValueError):
+            t.validate()
+
+
+class TestUtilities:
+    def test_len(self):
+        assert len(make_trace()) == 3
+        assert len(empty_trace()) == 0
+
+    def test_mix_sums_to_one(self):
+        mix = make_trace().mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix["load"] == pytest.approx(1 / 3)
+
+    def test_slice_clips_dependences(self):
+        t = make_trace()
+        s = t.slice(1, 3)
+        assert len(s) == 2
+        # First sliced instruction's dependence pointed before the slice.
+        assert s.src1[0] == 0
+        s.validate()
+
+    def test_rows_iteration(self):
+        rows = list(make_trace().rows())
+        assert len(rows) == 3
+        assert rows[1][0] == isa.LOAD
+        assert rows[1][3] == 0x1000

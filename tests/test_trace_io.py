@@ -1,0 +1,55 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.simulator import simulate
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.trace_io import load_trace, save_trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES
+
+
+@pytest.fixture
+def trace():
+    return generate_trace(PROFILES["twolf"], 3000, seed=13)
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        for field in ("op", "src1", "src2", "addr", "pc", "taken"):
+            np.testing.assert_array_equal(getattr(loaded, field), getattr(trace, field))
+        assert loaded.name == trace.name
+
+    def test_simulation_identical(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        config = ProcessorConfig()
+        assert simulate(config, loaded).cpi == simulate(config, trace).cpi
+
+    def test_suffix_added(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_compression_is_effective(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        raw_bytes = sum(
+            getattr(trace, f).nbytes
+            for f in ("op", "src1", "src2", "addr", "pc", "taken")
+        )
+        assert path.stat().st_size < raw_bytes
+
+    def test_unknown_version_rejected(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        payload = dict(np.load(path, allow_pickle=False))
+        payload["format_version"] = np.array([99])
+        np.savez_compressed(tmp_path / "bad.npz", **payload)
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "bad.npz")
+
+    def test_loaded_trace_validates(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        load_trace(path).validate()  # load_trace validates too; no raise

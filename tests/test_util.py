@@ -1,0 +1,69 @@
+"""Tests for utility helpers: seeded RNG derivation and table rendering."""
+
+import numpy as np
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import format_table, render_series
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_derive_seed_sensitive_to_labels(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(42, "a", 1) != derive_seed(42, "a", 2)
+        assert derive_seed(41, "a") != derive_seed(42, "a")
+
+    def test_derive_seed_range(self):
+        for seed in (0, 1, 2**62):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2**63
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(7, "stream").random(5)
+        b = make_rng(7, "stream").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_make_rng_decorrelated(self):
+        a = make_rng(7, "s1").random(5)
+        b = make_rng(7, "s2").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [("aa", 1), ("b", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(l) for l in lines)) <= 2
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [(1,)], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [(1.23456789,)])
+        assert "1.235" in text
+
+    def test_render_series_bars(self):
+        text = render_series([1, 2, 3], [10.0, 5.0, 1.0])
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[-1].count("#")
+
+    def test_render_series_label(self):
+        text = render_series([1], [1.0], label="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_render_series_empty(self):
+        assert render_series([], [], label="x") == "x"
+
+    def test_render_series_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1.0])
+
+    def test_render_series_constant(self):
+        text = render_series([1, 2], [3.0, 3.0])
+        assert "#" in text
