@@ -1,0 +1,53 @@
+"""repro.lint — AST-based static checks for the repo's own contracts.
+
+The paper's statistical claims rest on discipline the type system cannot
+see: explicitly seeded RNGs, well-conditioned least-squares fits, design
+points whose parameter names actually exist in Table 1, and a
+tables/figures registry that stays in sync with its harnesses.  This
+package enforces those contracts mechanically:
+
+========  =============================================================
+RNG001    no module-level ``np.random.*`` / ``random.*`` RNG calls
+NUM001    no ``np.linalg.inv`` / unregularized normal-equation solves
+NUM002    no ``==`` / ``!=`` comparisons against float literals
+DS001     parameter-name strings must exist in ``core/design_space.py``
+REG001    experiments / registry.py / benchmarks harnesses in sync
+API001    no mutable default arguments, no bare ``except:``
+========  =============================================================
+
+Run it as ``python -m repro.lint [paths]``, ``repro lint`` or
+``repro-lint``; suppress per line or per file with ``# repro:
+noqa[RULE-ID]``; grandfather findings in ``lint-baseline.json``.  See
+``docs/linting.md`` for the full catalogue and workflow.
+"""
+
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.core import (
+    RULES,
+    FileContext,
+    Finding,
+    Rule,
+    Suppressions,
+    VisitorRule,
+    all_rules,
+    parse_suppressions,
+    register,
+)
+from repro.lint.runner import LintResult, LintRunner, collect_files
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintRunner",
+    "RULES",
+    "Rule",
+    "Suppressions",
+    "VisitorRule",
+    "all_rules",
+    "collect_files",
+    "fingerprint",
+    "parse_suppressions",
+    "register",
+]

@@ -1,0 +1,118 @@
+"""Baseline support: grandfather existing findings, gate only new ones.
+
+A baseline is a committed JSON file mapping finding *fingerprints* to a
+count.  Fingerprints are line-number independent — they hash the rule id,
+the path, and the text of the offending source line — so unrelated edits
+that shift code up or down do not invalidate the baseline.  When the same
+fingerprint occurs N times in the baseline, only the first N live
+occurrences are filtered; new duplicates still fail.
+
+The shipped repository baseline (``lint-baseline.json``) is empty: every
+finding the linter knows about has been fixed at the source.  The file
+exists so future PRs have a documented grandfathering mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.core import Finding
+
+#: Default baseline filename looked up in the working directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding, source_lines: Optional[List[str]] = None) -> str:
+    """Stable fingerprint of a finding: rule + path + offending line text.
+
+    ``source_lines`` are the file's lines; when unavailable (e.g. the file
+    was deleted) the line number is used instead of the line text, which is
+    still deterministic though less robust to reformatting.
+    """
+    if source_lines is not None and 0 < finding.line <= len(source_lines):
+        anchor = source_lines[finding.line - 1].strip()
+    else:
+        anchor = f"line:{finding.line}"
+    path = finding.path.replace(os.sep, "/")
+    text = f"{finding.rule}\x1f{path}\x1f{anchor}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints with multiplicity."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None):
+        self.counts: Counter = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load a baseline JSON file; raises ``ValueError`` on bad format."""
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or "fingerprints" not in data:
+            raise ValueError(f"{path}: not a repro.lint baseline file")
+        counts = data["fingerprints"]
+        if not isinstance(counts, dict):
+            raise ValueError(f"{path}: 'fingerprints' must be an object")
+        return cls({str(k): int(v) for k, v in counts.items()})
+
+    def save(self, path: str) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        data = {
+            "format": _FORMAT_VERSION,
+            "tool": "repro.lint",
+            "fingerprints": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls, pairs: Iterable[Tuple[Finding, Optional[List[str]]]]
+    ) -> "Baseline":
+        """Build a baseline grandfathering every ``(finding, lines)`` pair."""
+        baseline = cls()
+        for finding, lines in pairs:
+            baseline.counts[fingerprint(finding, lines)] += 1
+        return baseline
+
+    def filter(
+        self, pairs: Iterable[Tuple[Finding, Optional[List[str]]]]
+    ) -> List[Finding]:
+        """Return the findings NOT covered by the baseline.
+
+        Consumes baseline multiplicity in order: with N grandfathered
+        occurrences of a fingerprint, occurrences N+1, N+2, ... are kept.
+        """
+        budget = Counter(self.counts)
+        fresh: List[Finding] = []
+        for finding, lines in pairs:
+            key = fingerprint(finding, lines)
+            if budget[key] > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+
+def discover_baseline(explicit: Optional[str] = None) -> Optional[str]:
+    """Resolve the baseline path: explicit flag, else the default filename.
+
+    Returns ``None`` when no baseline should be applied (no explicit path
+    and no ``lint-baseline.json`` in the current working directory).
+    """
+    if explicit is not None:
+        return explicit
+    if os.path.isfile(DEFAULT_BASELINE_NAME):
+        return DEFAULT_BASELINE_NAME
+    return None

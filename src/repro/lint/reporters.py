@@ -1,0 +1,53 @@
+"""Output formats for lint results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.lint.runner import LintResult
+
+#: Version stamped into JSON reports so consumers can detect schema drift.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, stream: IO[str]) -> None:
+    """Write a flake8-style ``path:line:col: RULE message`` report."""
+    for finding in result.findings:
+        stream.write(f"{finding.location()}: {finding.rule} {finding.message}\n")
+    counts = result.counts_by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        stream.write(
+            f"\n{len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s) ({per_rule})\n"
+        )
+    else:
+        stream.write(f"{result.files_checked} file(s) checked, no findings\n")
+    if result.suppressed:
+        stream.write(f"[{len(result.suppressed)} suppressed by noqa]\n")
+    if result.baselined:
+        stream.write(f"[{len(result.baselined)} grandfathered by baseline]\n")
+
+
+def render_json(result: LintResult, stream: IO[str]) -> None:
+    """Write the result as a single machine-readable JSON document."""
+    doc = {
+        "schema": JSON_SCHEMA_VERSION,
+        "tool": "repro.lint",
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "counts": result.counts_by_rule(),
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+    }
+    json.dump(doc, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+#: Reporter registry used by the CLI ``--format`` flag.
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+}

@@ -1,0 +1,15 @@
+"""Concrete lint rules.
+
+Importing this package registers every rule in :data:`repro.lint.core.RULES`.
+Each module groups the rules of one contract area:
+
+* :mod:`repro.lint.rules.rng` — reproducibility (RNG001)
+* :mod:`repro.lint.rules.numerics` — numerical stability (NUM001, NUM002)
+* :mod:`repro.lint.rules.design_space` — design-space names (DS001)
+* :mod:`repro.lint.rules.registry_sync` — exhibit registry drift (REG001)
+* :mod:`repro.lint.rules.api` — API hygiene (API001)
+"""
+
+from repro.lint.rules import api, design_space, numerics, registry_sync, rng
+
+__all__ = ["api", "design_space", "numerics", "registry_sync", "rng"]

@@ -1,0 +1,69 @@
+"""API001 — API hygiene: mutable default arguments and bare ``except:``.
+
+Mutable defaults (``def f(x, acc=[])``) are evaluated once at function
+definition and shared across calls — state leaks between experiment runs,
+which is exactly the cross-run coupling the reproducibility contract
+forbids.  Bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit``
+and hides real failures inside long simulation sweeps; catch a concrete
+exception type (or at minimum ``Exception``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import VisitorRule, register
+
+#: Call names whose zero-argument form builds a fresh mutable container.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    """Whether a default-value expression is a shared mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES)
+
+
+@register
+class ApiHygieneRule(VisitorRule):
+    """Forbid mutable default arguments and bare ``except:`` clauses."""
+
+    id = "API001"
+    title = "mutable default argument or bare except clause"
+    rationale = (
+        "Mutable defaults share state across calls (cross-run coupling); "
+        "bare except hides real failures and eats KeyboardInterrupt inside "
+        "long sweeps."
+    )
+
+    def _check_function(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.report(
+                    default,
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and create the container inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except: swallows SystemExit/KeyboardInterrupt; catch "
+                "a concrete exception type",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,134 @@
+"""DS001 — design-space parameter names must exist in the canonical registry.
+
+The paper's Table 1/2 spaces (``repro.core.design_space``) define the only
+valid parameter identifiers (``pipe_depth``, ``rob_size``, ``l2_lat``, ...).
+A typo in a string literal — ``"l2_latency"`` for ``"l2_lat"`` — does not
+fail at import time; it produces a KeyError deep inside an experiment run,
+or worse, a silently wrong baseline dictionary.  This rule resolves
+parameter-name string literals against the canonical registry in the
+syntactic contexts where such names appear:
+
+* keyword arguments named ``param`` / ``param_x`` / ``param_y`` /
+  ``param_name`` / ``parameter`` / ``parameters``;
+* string subscripts of objects whose name mentions ``space``
+  (``space["rob_size"]``, ``design_space["l2_lat"]``);
+* dict literals in which most string keys are already parameter names
+  (design-point baselines like fig1's) — the odd one out is flagged;
+* list/tuple/set literals in which most string elements are parameter
+  names (expected-split tables like table5's).
+
+The majority heuristics mean ordinary dicts keyed by benchmark name or
+metric never trip the rule; only collections that are clearly *about*
+design parameters are checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from typing import FrozenSet, List
+
+from repro.lint.core import VisitorRule, register
+
+#: Keyword-argument names whose string value is a design parameter name.
+_PARAM_KWARGS = frozenset({
+    "param", "param_x", "param_y", "param_name", "parameter", "parameters",
+})
+
+#: Minimum collection size before the majority heuristic applies.
+_MIN_COLLECTION = 3
+
+
+def canonical_parameter_names() -> FrozenSet[str]:
+    """The union of parameter names across the paper's design spaces.
+
+    Imported lazily so that the linter can still run (with DS001 inert)
+    in a stripped-down environment where the modeling stack is absent.
+    """
+    try:
+        from repro.core.design_space import paper_design_space, paper_test_space
+    except Exception:  # pragma: no cover - only in stripped environments
+        return frozenset()
+    names = set(paper_design_space().names) | set(paper_test_space().names)
+    return frozenset(names)
+
+
+@register
+class DesignSpaceNameRule(VisitorRule):
+    """Resolve parameter-name string literals against the canonical set."""
+
+    id = "DS001"
+    title = "unknown design-space parameter name in string literal"
+    rationale = (
+        "Typo'd parameter names fail at experiment runtime (or silently "
+        "skew a baseline dict) instead of at review time; the canonical "
+        "registry in core/design_space.py is the single source of truth."
+    )
+
+    def __init__(self) -> None:
+        self.known = canonical_parameter_names()
+
+    def _flag(self, node: ast.AST, name: str) -> None:
+        close = difflib.get_close_matches(name, sorted(self.known), n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        self.report(
+            node,
+            f"{name!r} is not a design-space parameter "
+            f"(see core/design_space.py){hint}",
+        )
+
+    def _str_value(self, node: ast.AST):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.known:
+            for kw in node.keywords:
+                if kw.arg in _PARAM_KWARGS:
+                    value = self._str_value(kw.value)
+                    if value is not None and value not in self.known:
+                        self._flag(kw.value, value)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self.known and isinstance(node.value, ast.Name) and "space" in node.value.id:
+            sl = node.slice
+            if isinstance(sl, ast.Index):  # pragma: no cover - py<3.9 AST
+                sl = sl.value
+            value = self._str_value(sl)
+            if value is not None and value not in self.known:
+                self._flag(node, value)
+        self.generic_visit(node)
+
+    def _check_collection(self, node: ast.AST, elements: List[ast.AST]) -> None:
+        strings = [(el, self._str_value(el)) for el in elements]
+        strings = [(el, v) for el, v in strings if v is not None]
+        if len(strings) < _MIN_COLLECTION:
+            return
+        hits = sum(1 for _, v in strings if v in self.known)
+        if hits * 2 <= len(strings):
+            return  # not a parameter-name collection
+        for el, v in strings:
+            if v not in self.known:
+                self._flag(el, v)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if self.known:
+            self._check_collection(node, [k for k in node.keys if k is not None])
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        if self.known:
+            self._check_collection(node, node.elts)
+        self.generic_visit(node)
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        if self.known:
+            self._check_collection(node, node.elts)
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        if self.known:
+            self._check_collection(node, node.elts)
+        self.generic_visit(node)

@@ -1,0 +1,99 @@
+"""Numerical-stability rules: NUM001 and NUM002.
+
+NUM001 — no explicit matrix inversion and no unregularized normal-equation
+solves.  ``np.linalg.inv`` squares the condition number for no benefit,
+and ``solve(X.T @ X, X.T @ y)`` written literally has no ridge term; both
+are exactly the ill-conditioning failure mode the RBF weight fit guards
+against (``models/rbf.py`` adds a diagonal ridge before solving).  Use
+``np.linalg.lstsq``/``solve`` on a regularized system instead.
+
+NUM002 — no ``==`` / ``!=`` against float literals.  Snapped design-space
+levels, CPI values and discrepancy scores are all floats produced by
+arithmetic; exact comparison is representation-dependent.  Use
+``math.isclose`` / ``np.isclose`` or an explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import VisitorRule, attribute_chain, register
+
+#: Roots under which ``.linalg.inv`` is recognised.
+_LINALG_ROOTS = ("np", "numpy", "scipy", "linalg")
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    """Whether ``node`` is a float constant, including ``-1.5`` style."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_normal_equations(node: ast.AST) -> bool:
+    """Whether ``node`` is literally ``X.T @ X`` for some expression X."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult)):
+        return False
+    left = node.left
+    if not (isinstance(left, ast.Attribute) and left.attr == "T"):
+        return False
+    return ast.dump(left.value) == ast.dump(node.right)
+
+
+@register
+class IllConditionedSolveRule(VisitorRule):
+    """Forbid ``np.linalg.inv`` and literal normal-equation solves."""
+
+    id = "NUM001"
+    title = "ill-conditioned solve: linalg.inv or unregularized X.T@X solve"
+    rationale = (
+        "Matrix inversion and raw normal equations square the condition "
+        "number; the model-fitting layer must use lstsq or a ridge-"
+        "regularized solve to keep RBF weight fits well-conditioned."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = attribute_chain(node.func)
+        if chain is not None and len(chain) >= 2:
+            if chain[-1] == "inv" and chain[-2] == "linalg" and chain[0] in _LINALG_ROOTS:
+                self.report(
+                    node,
+                    "np.linalg.inv squares the condition number; use "
+                    "np.linalg.solve/lstsq on the original system",
+                )
+            elif (chain[-1] in ("solve", "lstsq") and chain[-2] == "linalg"
+                    and chain[0] in _LINALG_ROOTS and node.args
+                    and _is_normal_equations(node.args[0])):
+                self.report(
+                    node,
+                    "unregularized normal-equation solve (X.T @ X); add a "
+                    "ridge term to the Gram matrix or use lstsq on X directly",
+                )
+        self.generic_visit(node)
+
+
+@register
+class FloatEqualityRule(VisitorRule):
+    """Forbid ``==`` / ``!=`` comparisons against float literals."""
+
+    id = "NUM002"
+    title = "float equality comparison; use isclose or a tolerance"
+    rationale = (
+        "Floats produced by arithmetic (snapped levels, CPI, discrepancy) "
+        "rarely compare exactly equal; exact comparison makes behaviour "
+        "depend on rounding and platform."
+    )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(operands[i]) or _is_float_literal(operands[i + 1]):
+                self.report(
+                    node,
+                    "equality comparison against a float literal; use "
+                    "math.isclose/np.isclose or compare with a tolerance",
+                )
+                break
+        self.generic_visit(node)

@@ -1,0 +1,199 @@
+"""REG001 — experiment registry, modules and benchmark harnesses in sync.
+
+Every paper exhibit lives three times in this repository: a
+``fig*/table*`` module under ``experiments/``, an entry in
+``experiments/registry.py``, and a regeneration harness under
+``benchmarks/``.  Drift between the three is invisible until a release
+audit (an exhibit silently stops being regenerated) — exactly the
+data-pipeline rot Concorde/NeuroScalar-style performance models are known
+to suffer from.  This project-scope rule checks, over the whole linted
+file set:
+
+* every ``experiments/fig*.py`` / ``experiments/table*.py`` module is
+  registered in the sibling ``registry.py`` (finding on the module);
+* every registry entry's ``module`` resolves to an existing experiment
+  file (finding on ``registry.py``);
+* every registry entry's ``bench`` harness file exists (finding on
+  ``registry.py``);
+* no orphaned ``benchmarks/test_fig*.py`` / ``test_table*.py`` harness
+  exists without a registry entry (finding on ``registry.py``).
+
+The harness checks need a repository root; it is located by walking up
+from the registry file looking for the referenced paths, so the rule
+degrades gracefully when linting an isolated file.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+#: Experiment-module filename shape (``fig4_error_vs_sample_size.py``).
+_EXHIBIT_RE = re.compile(r"^(fig|table)\w*\.py$")
+
+#: Harness filename shape under ``benchmarks/``.
+_HARNESS_RE = re.compile(r"^test_(fig|table)\w*\.py$")
+
+
+def _is_experiment_module(path: str) -> bool:
+    directory, name = os.path.split(path)
+    return (os.path.basename(directory) == "experiments"
+            and _EXHIBIT_RE.match(name) is not None)
+
+
+class RegistryInfo:
+    """Module and bench strings extracted from a ``registry.py`` AST."""
+
+    def __init__(self, modules: List[str], benches: List[str]):
+        self.modules = modules
+        self.benches = benches
+
+    @property
+    def module_stems(self) -> List[str]:
+        """Last dotted component of each registered experiment module."""
+        return [m.rsplit(".", 1)[-1] for m in self.modules]
+
+    @classmethod
+    def parse(cls, tree: ast.Module) -> "RegistryInfo":
+        """Collect ``Experiment(...)`` constructor module/bench arguments."""
+        modules: List[str] = []
+        benches: List[str] = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                    and node.func.id == "Experiment"):
+                continue
+            args: Dict[str, str] = {}
+            names = ("exhibit", "title", "module", "bench", "workloads")
+            for pos, arg in zip(names, node.args):
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    args[pos] = arg.value
+            for kw in node.keywords:
+                if (kw.arg in names and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)):
+                    args[kw.arg] = kw.value.value
+            if "module" in args:
+                modules.append(args["module"])
+            if "bench" in args:
+                benches.append(args["bench"])
+        return cls(modules, benches)
+
+
+def _find_root_for(start_dir: str, relative: str, max_up: int = 6) -> Optional[str]:
+    """Walk up from ``start_dir`` to find a root containing ``relative``."""
+    current = os.path.abspath(start_dir)
+    for _ in range(max_up):
+        if os.path.exists(os.path.join(current, relative)):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            break
+        current = parent
+    return None
+
+
+@register
+class RegistrySyncRule(Rule):
+    """Cross-check experiment modules, registry entries and harnesses."""
+
+    id = "REG001"
+    title = "experiment module / registry.py / benchmarks harness drift"
+    scope = "project"
+    rationale = (
+        "An exhibit module that is missing from the registry (or whose "
+        "harness is gone) silently drops out of the reproduction surface; "
+        "the registry is only trustworthy if it is mechanically synced."
+    )
+
+    def check_project(self, contexts: Sequence[FileContext]) -> List[Finding]:
+        """Run the four sync checks over the linted file set."""
+        findings: List[Finding] = []
+        by_path = {os.path.abspath(ctx.path): ctx for ctx in contexts}
+
+        experiment_ctxs = [c for c in contexts if _is_experiment_module(c.path)]
+        registry_ctxs = {
+            os.path.abspath(c.path): c for c in contexts
+            if (os.path.basename(c.path) == "registry.py"
+                and os.path.basename(os.path.dirname(c.path)) == "experiments")
+        }
+
+        # -- modules must be registered in their sibling registry.py ------
+        for ctx in experiment_ctxs:
+            directory = os.path.dirname(os.path.abspath(ctx.path))
+            reg_path = os.path.join(directory, "registry.py")
+            info = self._registry_info(reg_path, by_path)
+            stem = os.path.splitext(os.path.basename(ctx.path))[0]
+            if info is None:
+                findings.append(self.finding(
+                    ctx.path, None,
+                    "experiment module has no sibling experiments/registry.py "
+                    "to be registered in",
+                ))
+            elif stem not in info.module_stems:
+                findings.append(self.finding(
+                    ctx.path, None,
+                    f"experiment module {stem!r} is not registered in "
+                    "experiments/registry.py",
+                ))
+
+        # -- registry entries must resolve both ways ----------------------
+        for reg_path, ctx in registry_ctxs.items():
+            info = RegistryInfo.parse(ctx.tree)
+            reg_dir = os.path.dirname(reg_path)
+            for module in info.modules:
+                stem = module.rsplit(".", 1)[-1]
+                if not os.path.isfile(os.path.join(reg_dir, stem + ".py")):
+                    findings.append(self.finding(
+                        ctx.path, None,
+                        f"registry entry module {module!r} has no "
+                        f"experiments/{stem}.py implementation",
+                    ))
+            root = None
+            if info.benches:
+                root = _find_root_for(reg_dir, info.benches[0])
+                if root is None:
+                    root = _find_root_for(reg_dir, "benchmarks")
+            for bench in info.benches:
+                if root is None or not os.path.isfile(os.path.join(root, bench)):
+                    findings.append(self.finding(
+                        ctx.path, None,
+                        f"registry entry harness {bench!r} does not exist",
+                    ))
+            findings.extend(self._orphan_harnesses(ctx, info, root))
+        return findings
+
+    def _registry_info(self, reg_path: str,
+                       by_path: Dict[str, FileContext]) -> Optional[RegistryInfo]:
+        """Registry info from the linted set or by parsing the file on disk."""
+        ctx = by_path.get(os.path.abspath(reg_path))
+        if ctx is not None:
+            return RegistryInfo.parse(ctx.tree)
+        if os.path.isfile(reg_path):
+            try:
+                with open(reg_path, "r", encoding="utf-8") as fh:
+                    return RegistryInfo.parse(ast.parse(fh.read(), filename=reg_path))
+            except (OSError, SyntaxError):
+                return None
+        return None
+
+    def _orphan_harnesses(self, ctx: FileContext, info: RegistryInfo,
+                          root: Optional[str]) -> List[Finding]:
+        """Benchmarks harnesses that no registry entry references."""
+        if root is None:
+            return []
+        bench_dir = os.path.join(root, "benchmarks")
+        if not os.path.isdir(bench_dir):
+            return []
+        referenced = {os.path.basename(b) for b in info.benches}
+        findings = []
+        for name in sorted(os.listdir(bench_dir)):
+            if _HARNESS_RE.match(name) and name not in referenced:
+                findings.append(self.finding(
+                    ctx.path, None,
+                    f"orphaned harness benchmarks/{name} is not referenced "
+                    "by any registry entry",
+                ))
+        return findings

@@ -1,0 +1,390 @@
+"""Per-rule tests for the ``repro.lint`` static-analysis pass.
+
+Each rule gets (at least) one positive fixture that must fire and one
+suppressed fixture that must stay silent; the framework itself (noqa
+parsing, baseline, reporters, CLI exit codes) is covered at the end.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, Finding, LintRunner, fingerprint
+from repro.lint.core import RULES, FileContext, parse_suppressions
+from repro.lint.reporters import render_json, render_text
+
+
+def lint_source(tmp_path, source, filename="snippet.py", select=None,
+                extra_files=()):
+    """Write ``source`` (plus fixtures) under ``tmp_path`` and lint it all."""
+    target = tmp_path / filename
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    for rel, text in extra_files:
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(text))
+    runner = LintRunner(select=set(select) if select else None)
+    return runner.run([str(tmp_path)])
+
+
+def rule_ids(result):
+    return sorted(f.rule for f in result.findings)
+
+
+class TestRNG001:
+    def test_flags_numpy_and_stdlib_global_rng(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import random
+            import numpy as np
+
+            def draw():
+                np.random.seed(0)
+                a = np.random.random(4)
+                b = random.randint(0, 3)
+                return a, b
+            """)
+        assert rule_ids(result) == ["RNG001", "RNG001", "RNG001"]
+
+    def test_allows_generator_construction_and_threading(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import random
+            import numpy as np
+
+            def draw(rng: np.random.Generator):
+                spare = np.random.default_rng(1234)
+                local = random.Random(7)
+                return rng.random(4), spare.integers(3), local.random()
+            """)
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+            x = np.random.random(4)  # repro: noqa[RNG001]
+            """)
+        assert result.ok and len(result.suppressed) == 1
+
+
+class TestNUM001:
+    def test_flags_inv_and_normal_equations(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            def fit(h, y):
+                w = np.linalg.inv(h.T @ h) @ h.T @ y
+                v = np.linalg.solve(h.T @ h, h.T @ y)
+                return w, v
+            """)
+        assert rule_ids(result) == ["NUM001", "NUM001"]
+
+    def test_allows_regularized_solve_and_lstsq(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            def fit(h, y, ridge=1e-9):
+                gram = h.T @ h
+                gram[np.diag_indices_from(gram)] += ridge
+                w = np.linalg.solve(gram, h.T @ y)
+                v = np.linalg.lstsq(h, y, rcond=None)[0]
+                return w, v
+            """)
+        assert result.ok
+
+    def test_file_level_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            # repro: noqa[NUM001]
+            import numpy as np
+
+            def fit(h, y):
+                return np.linalg.inv(h.T @ h) @ h.T @ y
+            """)
+        assert result.ok and len(result.suppressed) == 1
+
+
+class TestNUM002:
+    def test_flags_float_literal_equality(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def check(cpi):
+                if cpi == 1.0:
+                    return True
+                return cpi != -0.5
+            """)
+        assert rule_ids(result) == ["NUM002", "NUM002"]
+
+    def test_allows_int_equality_and_tolerances(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import math
+
+            def check(n, cpi):
+                return n == 3 and math.isclose(cpi, 1.0) and cpi >= 0.5
+            """)
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def exact_zero(x):
+                return x == 0.0  # repro: noqa[NUM002]
+            """)
+        assert result.ok and len(result.suppressed) == 1
+
+
+class TestDS001:
+    def test_flags_typo_in_param_kwarg_with_hint(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def render(grid):
+                grid.plot(param_x="l2_latency", x_values=[5, 10])
+            """)
+        assert rule_ids(result) == ["DS001"]
+        assert "l2_lat" in result.findings[0].message  # did-you-mean hint
+
+    def test_flags_odd_key_in_design_point_dict(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            BASELINE = {
+                "pipe_depth": 15,
+                "rob_size": 76,
+                "l2_lat": 12,
+                "il1_size": 32,
+            }
+            """)
+        assert rule_ids(result) == ["DS001"]
+        assert "'il1_size'" in result.findings[0].message
+
+    def test_allows_canonical_names_and_unrelated_dicts(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            POINT = {"pipe_depth": 15, "rob_size": 76, "l2_lat": 12}
+            SPLITS = ["l2_lat", "dl1_lat", "rob_size"]
+            PROFILES = {"mcf": 1, "twolf": 2, "vortex": 3}
+
+            def lookup(space):
+                return space["rob_size"]
+            """)
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def render(grid):
+                grid.plot(param_x="not_a_param")  # repro: noqa[DS001]
+            """)
+        assert result.ok and len(result.suppressed) == 1
+
+
+class TestREG001:
+    REGISTRY = """\
+        EXPERIMENTS = {
+            "fig1": Experiment(
+                "Figure 1", "title",
+                "repro.experiments.fig1_demo",
+                "benchmarks/test_fig1_demo.py",
+                "mcf",
+            ),
+        }
+        """
+
+    def test_flags_unregistered_experiment_module(self, tmp_path):
+        result = lint_source(
+            tmp_path, '"""Orphan exhibit."""\n',
+            filename="experiments/fig9_orphan.py",
+            extra_files=[
+                ("experiments/registry.py", self.REGISTRY),
+                ("experiments/fig1_demo.py", '"""Registered."""\n'),
+                ("benchmarks/test_fig1_demo.py", "def test_ok():\n    pass\n"),
+            ],
+        )
+        assert rule_ids(result) == ["REG001"]
+        assert "fig9_orphan" in result.findings[0].message
+
+    def test_flags_missing_harness_and_orphan_harness(self, tmp_path):
+        result = lint_source(
+            tmp_path, '"""Registered."""\n',
+            filename="experiments/fig1_demo.py",
+            extra_files=[
+                ("experiments/registry.py", self.REGISTRY),
+                # registered harness missing; an unregistered one present
+                ("benchmarks/test_table9_orphan.py", "def test_x():\n    pass\n"),
+            ],
+        )
+        messages = " | ".join(f.message for f in result.findings)
+        assert "test_fig1_demo.py" in messages  # registered but missing
+        assert "test_table9_orphan.py" in messages  # orphaned harness
+
+    def test_clean_when_all_three_sides_agree(self, tmp_path):
+        result = lint_source(
+            tmp_path, '"""Registered."""\n',
+            filename="experiments/fig1_demo.py",
+            extra_files=[
+                ("experiments/registry.py", self.REGISTRY),
+                ("benchmarks/test_fig1_demo.py", "def test_ok():\n    pass\n"),
+            ],
+        )
+        assert result.ok
+
+    def test_file_level_noqa_suppresses(self, tmp_path):
+        result = lint_source(
+            tmp_path, '# repro: noqa[REG001]\n"""Orphan exhibit."""\n',
+            filename="experiments/fig9_orphan.py",
+            extra_files=[
+                ("experiments/registry.py", self.REGISTRY),
+                ("experiments/fig1_demo.py", '"""Registered."""\n'),
+                ("benchmarks/test_fig1_demo.py", "def test_ok():\n    pass\n"),
+            ],
+        )
+        assert result.ok and len(result.suppressed) == 1
+
+
+class TestAPI001:
+    def test_flags_mutable_default_and_bare_except(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def sweep(configs, acc=[], opts={}):
+                try:
+                    acc.extend(configs)
+                except:
+                    pass
+            """)
+        assert rule_ids(result) == ["API001", "API001", "API001"]
+
+    def test_allows_none_default_and_typed_except(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def sweep(configs, acc=None, scale=1.0):
+                acc = [] if acc is None else acc
+                try:
+                    acc.extend(configs)
+                except ValueError:
+                    pass
+            """)
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def sweep(acc=[]):  # repro: noqa[API001]
+                return acc
+            """)
+        assert result.ok and len(result.suppressed) == 1
+
+
+class TestFramework:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        result = lint_source(tmp_path, "def broken(:\n")
+        assert rule_ids(result) == ["SYN001"]
+
+    def test_bare_noqa_suppresses_all_rules(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+            x = np.random.random(4)  # repro: noqa
+            """)
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_noqa_parsing_levels(self):
+        supp = parse_suppressions(
+            "# repro: noqa[DS001]\n"
+            "x = 1  # repro: noqa[NUM002, RNG001]\n"
+        )
+        assert supp.is_suppressed("DS001", 99)  # file level
+        assert supp.is_suppressed("NUM002", 2)
+        assert supp.is_suppressed("RNG001", 2)
+        assert not supp.is_suppressed("NUM002", 1)
+
+    def test_baseline_grandfathers_then_catches_new(self, tmp_path):
+        source = "def f(x):\n    return x == 1.0\n"
+        path = tmp_path / "old.py"
+        path.write_text(source)
+        runner = LintRunner(select={"NUM002"})
+        first = runner.run([str(path)])
+        assert len(first.findings) == 1
+        baseline = Baseline.from_findings(
+            [(f, source.splitlines()) for f in first.findings])
+        bl_path = tmp_path / "baseline.json"
+        baseline.save(str(bl_path))
+        reloaded = Baseline.load(str(bl_path))
+        clean = runner.run([str(path)], baseline=reloaded)
+        assert clean.ok and len(clean.baselined) == 1
+        # a second, new violation is NOT grandfathered
+        path.write_text(source + "def g(x):\n    return x != 2.0\n")
+        second = runner.run([str(path)], baseline=reloaded)
+        assert len(second.findings) == 1
+
+    def test_fingerprint_survives_line_shift(self):
+        lines_a = ["", "x == 1.0"]
+        lines_b = ["", "", "", "x == 1.0"]
+        fa = fingerprint(Finding("NUM002", "p.py", 2, 0, "m"), lines_a)
+        fb = fingerprint(Finding("NUM002", "p.py", 4, 0, "m"), lines_b)
+        assert fa == fb
+
+    def test_reporters_render(self, tmp_path):
+        import io
+
+        result = lint_source(tmp_path, "x = 1 == 1.0\n")
+        text = io.StringIO()
+        render_text(result, text)
+        assert "NUM002" in text.getvalue()
+        blob = io.StringIO()
+        render_json(result, blob)
+        doc = json.loads(blob.getvalue())
+        assert doc["ok"] is False
+        assert doc["counts"] == {"NUM002": 1}
+        assert doc["findings"][0]["rule"] == "NUM002"
+        assert {"rule", "path", "line", "col", "message"} <= set(doc["findings"][0])
+
+    def test_every_rule_has_id_title_and_docs(self):
+        expected = {"RNG001", "NUM001", "NUM002", "DS001", "REG001", "API001"}
+        assert expected <= set(RULES)
+        for rule_id, cls in RULES.items():
+            assert cls.title, rule_id
+            assert cls.rationale, rule_id
+            assert cls.scope in ("file", "project"), rule_id
+
+    def test_context_from_source_parses_suppressions(self):
+        ctx = FileContext.from_source("x.py", "a = 1  # repro: noqa[API001]\n")
+        assert ctx.suppressions.is_suppressed("API001", 1)
+
+
+class TestCli:
+    def _run(self, *argv, cwd=None):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *argv],
+            capture_output=True, text=True, env=env, cwd=cwd,
+        )
+
+    def test_exit_zero_on_clean_file_and_one_on_violation(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert self._run(str(clean)).returncode == 0
+        proc = self._run(str(dirty))
+        assert proc.returncode == 1
+        assert "RNG001" in proc.stdout
+
+    def test_json_format_is_machine_readable(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("x = 0.0\nassert x == 0.1\n")
+        proc = self._run(str(dirty), "--format", "json")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["counts"] == {"NUM002": 1}
+
+    def test_select_and_list_rules(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert self._run(str(dirty), "--select", "NUM002").returncode == 0
+        listing = self._run("--list-rules")
+        assert listing.returncode == 0
+        for rule_id in ("RNG001", "NUM001", "NUM002", "DS001", "REG001", "API001"):
+            assert rule_id in listing.stdout
+
+    def test_missing_path_is_usage_error(self):
+        assert self._run("/nonexistent/nowhere").returncode == 2
+
+    def test_repro_cli_lint_subcommand(self, tmp_path):
+        from repro.cli import main as repro_main
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert repro_main(["lint", str(clean), "--no-baseline"]) == 0
