@@ -4,10 +4,15 @@ Commands
 --------
 ``simulate``
     Run the detailed simulator for one benchmark at a configuration given
-    as ``name=value`` overrides and print the result summary.
+    as ``name=value`` overrides and print the result summary.  A
+    comma-separated override value (``l2_lat=12,18``) sweeps a grid of
+    configurations — the cross product over all list-valued overrides —
+    optionally in parallel (``--jobs``).
 ``build``
     Run the BuildRBFmodel procedure for a benchmark at one sample size,
-    validate on random test points, and print the error report.
+    validate on random test points, and print the error report plus the
+    simulation-runner statistics.  ``--jobs`` (or ``$REPRO_JOBS``) fans
+    the uncached simulations out over worker processes.
 ``experiments``
     List every reproduced table/figure and the benchmark file that
     regenerates it.
@@ -27,12 +32,22 @@ from typing import List, Optional
 from repro.core.design_space import paper_design_space, paper_test_space
 from repro.core.procedure import BuildRBFModel
 from repro.experiments.registry import EXPERIMENTS
-from repro.experiments.runner import SimulationRunner
+from repro.experiments.runner import SimulationRunner, simulate_configs
 from repro.sampling.random_design import random_design
 from repro.simulator.config import ProcessorConfig
 from repro.simulator.simulator import simulate
 from repro.util.tables import format_table
 from repro.workloads.spec2000 import benchmark_names, get_profile, get_trace, spec_label
+
+
+def _parse_numeric(pair: str, value: str):
+    try:
+        return int(value)
+    except ValueError:
+        try:
+            return float(value)
+        except ValueError:
+            raise SystemExit(f"override {pair!r}: value must be numeric")
 
 
 def _parse_overrides(pairs: List[str]) -> dict:
@@ -41,46 +56,90 @@ def _parse_overrides(pairs: List[str]) -> dict:
         if "=" not in pair:
             raise SystemExit(f"override {pair!r} is not name=value")
         name, value = pair.split("=", 1)
-        try:
-            out[name] = int(value)
-        except ValueError:
-            try:
-                out[name] = float(value)
-            except ValueError:
-                raise SystemExit(f"override {pair!r}: value must be numeric")
+        if "," in value:
+            out[name] = tuple(_parse_numeric(pair, v) for v in value.split(","))
+        else:
+            out[name] = _parse_numeric(pair, value)
     return out
 
 
+def _override_grid(overrides: dict) -> List[dict]:
+    """Cross product of list-valued overrides (scalars stay fixed)."""
+    import itertools
+
+    sweep = {k: v for k, v in overrides.items() if isinstance(v, tuple)}
+    fixed = {k: v for k, v in overrides.items() if not isinstance(v, tuple)}
+    combos = []
+    for values in itertools.product(*sweep.values()):
+        combo = dict(fixed)
+        combo.update(zip(sweep.keys(), values))
+        combos.append(combo)
+    return combos
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    """``repro simulate``: one detailed simulation at an overridden config."""
+    """``repro simulate``: detailed simulation at one or a grid of configs."""
     overrides = _parse_overrides(args.overrides)
+    grid = _override_grid(overrides)
+    if len(grid) == 1:
+        try:
+            config = ProcessorConfig(**grid[0])
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"bad configuration: {exc}")
+        trace = get_trace(args.benchmark, args.trace_length)
+        result = simulate(config, trace)
+        rows = [(k, f"{v:.4g}") for k, v in result.as_dict().items()]
+        print(format_table(["metric", "value"], rows,
+                           title=f"{spec_label(args.benchmark)} on {args.trace_length} instructions"))
+        return 0
     try:
-        config = ProcessorConfig(**overrides)
+        configs = [ProcessorConfig(**combo) for combo in grid]
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"bad configuration: {exc}")
-    trace = get_trace(args.benchmark, args.trace_length)
-    result = simulate(config, trace)
-    rows = [(k, f"{v:.4g}") for k, v in result.as_dict().items()]
-    print(format_table(["metric", "value"], rows,
-                       title=f"{spec_label(args.benchmark)} on {args.trace_length} instructions"))
+    try:
+        summaries = simulate_configs(
+            args.benchmark, configs, trace_length=args.trace_length,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    swept = sorted(k for k, v in overrides.items() if isinstance(v, tuple))
+    rows = [
+        tuple(str(combo[k]) for k in swept)
+        + (f"{s['cpi']:.4g}", f"{s['power']:.4g}", f"{s['energy']:.4g}")
+        for combo, s in zip(grid, summaries)
+    ]
+    print(format_table(
+        swept + ["cpi", "power", "energy"], rows,
+        title=(f"{spec_label(args.benchmark)} on {args.trace_length} "
+               f"instructions, {len(grid)} configurations"),
+    ))
     return 0
 
 
 def cmd_build(args: argparse.Namespace) -> int:
     """``repro build``: run BuildRBFmodel and print the validation report."""
     space = paper_design_space()
-    runner = SimulationRunner(args.benchmark, trace_length=args.trace_length)
+    try:
+        runner = SimulationRunner(
+            args.benchmark, trace_length=args.trace_length, jobs=args.jobs
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     builder = BuildRBFModel(space, runner.cpi, seed=args.seed)
     tspace = paper_test_space()
     test_phys = tspace.decode(random_design(tspace, args.test_points, seed=args.seed + 1))
     test_cpi = runner.cpi(test_phys)
     result = builder.build(args.sample_size, test_phys, test_cpi)
+    stats = runner.stats()
     print(f"benchmark      : {spec_label(args.benchmark)}")
     print(f"sample size    : {args.sample_size}")
     print(f"p_min / alpha  : {result.info.p_min} / {result.info.alpha}")
     print(f"RBF centers    : {result.info.num_centers}")
     print(f"test accuracy  : {result.errors}")
-    print(f"simulations run: {runner.simulations_run} (+{runner.cache_hits} cached)")
+    print(f"simulations run: {stats['simulations_run']} (+{stats['cache_hits']} cached)")
+    print(f"workers        : {stats['jobs']}")
+    print(f"sim wall time  : {stats['wall_time_s']:.2f}s")
     return 0
 
 
@@ -153,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("overrides", nargs="*",
                        help="ProcessorConfig overrides, e.g. l2_lat=18 rob_size=96")
     p_sim.add_argument("--trace-length", type=int, default=32768)
+    p_sim.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for grid sweeps "
+                            "(default: $REPRO_JOBS, else serial)")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_build = sub.add_parser("build", help="build and validate a CPI model")
@@ -161,6 +223,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--test-points", type=int, default=50)
     p_build.add_argument("--trace-length", type=int, default=32768)
     p_build.add_argument("--seed", type=int, default=42)
+    p_build.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for uncached simulations "
+                              "(default: $REPRO_JOBS, else serial)")
     p_build.set_defaults(func=cmd_build)
 
     p_exp = sub.add_parser("experiments", help="list reproduced exhibits")

@@ -161,7 +161,12 @@ class BuildRBFModel:
         for size in sizes:
             result = self.build(size, test_points, test_responses)
             results.append(result)
-            assert result.errors is not None
+            if result.errors is None:
+                # Not an assert: control flow must survive ``python -O``.
+                raise RuntimeError(
+                    f"build({size}) produced no error report; build_until "
+                    "requires test_points and test_responses"
+                )
             if target_mean_error is not None and result.errors.mean <= target_mean_error:
                 break
         return results

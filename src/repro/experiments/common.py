@@ -10,13 +10,13 @@ Table 3 harness already built; simulation results are memoised on disk by
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.design_space import DesignSpace, paper_design_space, paper_test_space
 from repro.core.procedure import BuildRBFModel, ModelBuildResult
-from repro.experiments.runner import SimulationRunner
+from repro.experiments.runner import SimulationRunner, resolve_jobs
 from repro.models.linear import LinearInteractionModel
 from repro.sampling.random_design import random_design
 
@@ -44,10 +44,18 @@ def training_space() -> DesignSpace:
     return paper_design_space()
 
 
-def runner(benchmark: str) -> SimulationRunner:
-    """The shared memoised simulation runner for ``benchmark``."""
+def runner(benchmark: str, jobs: Optional[int] = None) -> SimulationRunner:
+    """The shared memoised simulation runner for ``benchmark``.
+
+    ``jobs`` sets the parallel fan-out of the runner's ``metric`` path
+    (``None`` defers to ``$REPRO_JOBS``, defaulting to serial).  Passing an
+    explicit value retunes an already-memoised runner, so a harness can
+    parallelise the grid mid-session without dropping the warm cache.
+    """
     if benchmark not in _runners:
-        _runners[benchmark] = SimulationRunner(benchmark)
+        _runners[benchmark] = SimulationRunner(benchmark, jobs=jobs)
+    elif jobs is not None:
+        _runners[benchmark].jobs = resolve_jobs(jobs)
     return _runners[benchmark]
 
 

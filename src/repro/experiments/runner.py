@@ -1,4 +1,4 @@
-"""Simulation runner with on-disk memoisation.
+"""Simulation runner with on-disk memoisation and a parallel backend.
 
 Every experiment needs the same primitive: "CPI of benchmark B at physical
 design point x".  :class:`SimulationRunner` provides it as a vectorised
@@ -6,14 +6,32 @@ response function compatible with :class:`repro.core.procedure.BuildRBFModel`,
 and memoises results on disk (keyed by benchmark, trace length, seed and the
 full processor configuration) so the ~4000-simulation experiment grid is
 paid for once per machine, not once per pytest invocation.
+
+Uncached design points can be fanned out over a
+:class:`concurrent.futures.ProcessPoolExecutor` (``jobs`` parameter, or the
+``REPRO_JOBS`` environment variable; default serial).  The trace is built
+once per worker process, results are merged back into the memo cache, and
+the parallel path is bitwise-identical to the serial one: the simulator is
+deterministic given (config, trace), and both paths run exactly the same
+code on exactly the same trace.
+
+The disk cache is safe under concurrent use: flushes are dirty-gated (a
+clean runner never rewrites the file), write through a unique pid-suffixed
+temp file with an atomic ``os.replace``, and merge-on-flush under an
+advisory file lock — the cache file is re-read and unioned with the
+in-memory entries, so two processes flushing the same file never silently
+drop each other's simulations.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,11 +41,119 @@ from repro.simulator.simulator import Simulator
 from repro.workloads.spec2000 import DEFAULT_TRACE_LENGTH, get_trace
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
+_JOBS_ENV = "REPRO_JOBS"
+
+#: Sentinel default for ``cache_dir``: "resolve :func:`default_cache_dir`
+#: at construction time".  A call expression in the parameter default would
+#: freeze ``$REPRO_CACHE_DIR`` at import time (lint rule API002).
+_UNSET: Any = object()
 
 
 def default_cache_dir() -> Path:
     """Cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in the CWD."""
     return Path(os.environ.get(_CACHE_ENV, ".repro_cache"))
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker-count knob: explicit value, ``$REPRO_JOBS``, or 1.
+
+    ``None`` means "consult the environment"; a missing/empty ``REPRO_JOBS``
+    falls back to 1 (serial).  Raises :class:`ValueError` for non-integer or
+    non-positive settings so misconfiguration fails loudly, not silently.
+    """
+    if jobs is None:
+        raw = os.environ.get(_JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"{_JOBS_ENV}={raw!r} is not an integer")
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@contextmanager
+def _file_lock(path: Path) -> Iterator[None]:
+    """Advisory exclusive lock on ``path`` (best-effort without fcntl)."""
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX: atomic replace alone is the fallback
+        yield
+        return
+    with open(path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def _summarize(result) -> Dict[str, float]:
+    """The cached per-simulation summary extracted from a ``SimResult``."""
+    return {
+        "cpi": result.cpi,
+        "power": result.power,
+        "energy": result.energy,
+        "il1_miss_rate": result.il1_miss_rate,
+        "dl1_miss_rate": result.dl1_miss_rate,
+        "l2_miss_rate": result.l2_miss_rate,
+        "branch_mispredict_rate": result.branch_mispredict_rate,
+    }
+
+
+#: Per-worker-process trace, built once by :func:`_worker_init`.
+_WORKER_TRACE = None
+
+
+def _worker_init(benchmark: str, trace_length: int, seed: int) -> None:
+    """Pool initializer: build the benchmark trace once per worker process."""
+    global _WORKER_TRACE
+    _WORKER_TRACE = get_trace(benchmark, trace_length, seed)
+
+
+def _worker_simulate(task: Tuple[Any, Dict[str, int]]) -> Tuple[Any, Dict[str, float]]:
+    """Pool task: simulate one ``(key, config-kwargs)`` pair."""
+    key, kwargs = task
+    result = Simulator(ProcessorConfig(**kwargs)).run(_WORKER_TRACE)
+    return key, _summarize(result)
+
+
+def simulate_configs(
+    benchmark: str,
+    configs: Sequence[ProcessorConfig],
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Simulate explicit configurations for one benchmark, optionally in parallel.
+
+    Returns one summary dict per configuration, in input order.  ``jobs``
+    follows :func:`resolve_jobs`; with more than one worker and more than
+    one configuration the simulations fan out over a process pool (the
+    trace is built once per worker), which is bitwise-identical to the
+    serial path.  Used by ``repro simulate --jobs`` grid sweeps.
+    """
+    if not configs:
+        return []
+    jobs = min(resolve_jobs(jobs), len(configs))
+    tasks = [(index, config.as_dict()) for index, config in enumerate(configs)]
+    if jobs > 1:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(benchmark, trace_length, seed),
+        ) as pool:
+            results = dict(pool.map(_worker_simulate, tasks))
+    else:
+        trace = get_trace(benchmark, trace_length, seed)
+        results = {
+            index: _summarize(Simulator(ProcessorConfig(**kwargs)).run(trace))
+            for index, kwargs in tasks
+        }
+    return [results[index] for index in range(len(configs))]
 
 
 class SimulationRunner:
@@ -43,8 +169,14 @@ class SimulationRunner:
     trace_length, seed:
         Trace construction parameters (part of the cache key).
     cache_dir:
-        Directory for the JSON result cache; ``None`` disables disk
-        caching (in-memory memoisation still applies).
+        Directory for the JSON result cache.  Defaults to
+        :func:`default_cache_dir`, resolved *at construction time* so a
+        ``REPRO_CACHE_DIR`` set after import is honoured; ``None``
+        disables disk caching (in-memory memoisation still applies).
+    jobs:
+        Worker processes for :meth:`metric` fan-out.  ``None`` consults
+        ``$REPRO_JOBS`` and falls back to 1 (serial), so the default
+        behaviour — and every seed test — is unchanged.
     """
 
     def __init__(
@@ -53,16 +185,22 @@ class SimulationRunner:
         space: Optional[DesignSpace] = None,
         trace_length: int = DEFAULT_TRACE_LENGTH,
         seed: int = 0,
-        cache_dir: Optional[Path] = default_cache_dir(),
+        cache_dir: Optional[Path] = _UNSET,
+        jobs: Optional[int] = None,
     ):
         self.benchmark = benchmark
         self.space = space if space is not None else paper_design_space()
         self.trace_length = trace_length
         self.seed = seed
+        self.jobs = resolve_jobs(jobs)
         self.simulations_run = 0
         self.cache_hits = 0
+        self.wall_time = 0.0
+        self._dirty = 0
         self._cache: Dict[str, Dict[str, float]] = {}
         self._cache_path: Optional[Path] = None
+        if cache_dir is _UNSET:
+            cache_dir = default_cache_dir()
         if cache_dir is not None:
             cache_dir = Path(cache_dir)
             cache_dir.mkdir(parents=True, exist_ok=True)
@@ -70,11 +208,7 @@ class SimulationRunner:
             # so editing a workload profile can never serve stale results.
             fp = self._trace_fingerprint()
             self._cache_path = cache_dir / f"{benchmark}-{trace_length}-{seed}-{fp}.json"
-            if self._cache_path.exists():
-                try:
-                    self._cache = json.loads(self._cache_path.read_text())
-                except (json.JSONDecodeError, OSError):
-                    self._cache = {}
+            self._cache = self._read_disk()
 
     def _trace_fingerprint(self) -> str:
         """Short stable hash of the benchmark trace's content."""
@@ -89,46 +223,114 @@ class SimulationRunner:
 
     # -- low-level --------------------------------------------------------
 
+    def _read_disk(self) -> Dict[str, Dict[str, float]]:
+        """Current on-disk cache contents ({} when missing or corrupt)."""
+        if self._cache_path is None or not self._cache_path.exists():
+            return {}
+        try:
+            loaded = json.loads(self._cache_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return {}
+        return loaded if isinstance(loaded, dict) else {}
+
     def _flush(self) -> None:
-        if self._cache_path is None:
+        """Persist new entries: merge-on-flush under a lock, atomic replace.
+
+        A no-op while the runner holds no unflushed entries, so cache-hit
+        workloads never rewrite (or even open) the file.  The merge re-reads
+        the file inside the lock and unions it with the in-memory entries,
+        so concurrent runners flushing the same cache file each keep the
+        other's simulations.
+        """
+        if self._cache_path is None or not self._dirty:
             return
-        tmp = self._cache_path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self._cache))
-        tmp.replace(self._cache_path)
+        lock_path = self._cache_path.with_name(self._cache_path.name + ".lock")
+        with _file_lock(lock_path):
+            merged = self._read_disk()
+            merged.update(self._cache)
+            self._cache = merged
+            tmp = self._cache_path.with_name(
+                f"{self._cache_path.name}.{os.getpid()}.tmp"
+            )
+            tmp.write_text(json.dumps(merged, sort_keys=True))
+            os.replace(tmp, self._cache_path)
+        self._dirty = 0
 
     def result_at(self, point: Mapping[str, float]) -> Dict[str, float]:
-        """Simulation summary at one physical design point (dict form)."""
+        """Simulation summary at one physical design point (dict form).
+
+        The returned dict is a copy: mutating it cannot corrupt the memo
+        cache (or the next flush).
+        """
         resolved = self.space.resolve(dict(point))
         config = ProcessorConfig.from_design_point(resolved)
         key = config.key()
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
-            return cached
+            return dict(cached)
         trace = get_trace(self.benchmark, self.trace_length, self.seed)
-        result = Simulator(config).run(trace)
+        summary = _summarize(Simulator(config).run(trace))
         self.simulations_run += 1
-        summary = {
-            "cpi": result.cpi,
-            "power": result.power,
-            "energy": result.energy,
-            "il1_miss_rate": result.il1_miss_rate,
-            "dl1_miss_rate": result.dl1_miss_rate,
-            "l2_miss_rate": result.l2_miss_rate,
-            "branch_mispredict_rate": result.branch_mispredict_rate,
-        }
         self._cache[key] = summary
-        return summary
+        self._dirty += 1
+        return dict(summary)
+
+    def _simulate_batch(self, configs: Dict[str, Dict[str, int]]) -> None:
+        """Simulate the uncached configurations, fanning out when allowed."""
+        workers = min(self.jobs, len(configs))
+        if workers > 1:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(self.benchmark, self.trace_length, self.seed),
+            ) as pool:
+                for key, summary in pool.map(_worker_simulate, configs.items()):
+                    self._cache[key] = summary
+        else:
+            trace = get_trace(self.benchmark, self.trace_length, self.seed)
+            for key, kwargs in configs.items():
+                self._cache[key] = _summarize(
+                    Simulator(ProcessorConfig(**kwargs)).run(trace)
+                )
+        self._dirty += len(configs)
+        self.simulations_run += len(configs)
 
     # -- vectorised response functions -------------------------------------
 
     def metric(self, points: np.ndarray, name: str) -> np.ndarray:
-        """Evaluate one summary metric at ``(m, n)`` physical points."""
+        """Evaluate one summary metric at ``(m, n)`` physical points.
+
+        Uncached points are simulated — in parallel when the runner was
+        built with ``jobs > 1`` (or ``$REPRO_JOBS`` says so) — and merged
+        into the memo cache, which is flushed once at the end.
+        """
+        start = time.perf_counter()
         points = np.atleast_2d(np.asarray(points, dtype=float))
+        keys: List[str] = []
+        pending: Dict[str, Dict[str, int]] = {}
+        for row in points:
+            resolved = self.space.resolve(self.space.as_dict(row))
+            config = ProcessorConfig.from_design_point(resolved)
+            key = config.key()
+            keys.append(key)
+            if key not in self._cache and key not in pending:
+                pending[key] = config.as_dict()
+        if pending:
+            self._simulate_batch(pending)
+        # Stats bookkeeping matches the serial one-point-at-a-time path:
+        # each fresh key's first lookup is its simulation, all other
+        # lookups are cache hits.
+        consumed = set()
         values = np.empty(len(points))
-        for i, row in enumerate(points):
-            values[i] = self.result_at(self.space.as_dict(row))[name]
+        for i, key in enumerate(keys):
+            if key in pending and key not in consumed:
+                consumed.add(key)
+            else:
+                self.cache_hits += 1
+            values[i] = self._cache[key][name]
         self._flush()
+        self.wall_time += time.perf_counter() - start
         return values
 
     def cpi(self, points: np.ndarray) -> np.ndarray:
@@ -139,8 +341,19 @@ class SimulationRunner:
         """Power response function (the future-work extension metric)."""
         return self.metric(points, "power")
 
+    def stats(self) -> Dict[str, Any]:
+        """Execution statistics: simulations, cache hits, workers, wall time."""
+        return {
+            "benchmark": self.benchmark,
+            "simulations_run": self.simulations_run,
+            "cache_hits": self.cache_hits,
+            "jobs": self.jobs,
+            "wall_time_s": self.wall_time,
+        }
+
     def __repr__(self) -> str:
         return (
             f"SimulationRunner({self.benchmark!r}, trace={self.trace_length}, "
-            f"seed={self.seed}, runs={self.simulations_run}, hits={self.cache_hits})"
+            f"seed={self.seed}, jobs={self.jobs}, runs={self.simulations_run}, "
+            f"hits={self.cache_hits})"
         )

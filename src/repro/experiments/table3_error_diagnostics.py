@@ -9,7 +9,7 @@ case, with the FP benchmarks (equake, ammp) showing the lowest maxima.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.validation import ErrorReport
 from repro.experiments import common
@@ -34,10 +34,12 @@ class Table3Result:
 
 
 def run(
-    benchmarks: Sequence[str] = tuple(benchmark_names()),
+    benchmarks: Optional[Sequence[str]] = None,
     sample_size: int = SAMPLE_SIZE,
 ) -> Table3Result:
     """Build all eight models at the target size and collect errors."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
     reports = {}
     for benchmark in benchmarks:
         result = common.rbf_model(benchmark, sample_size)

@@ -7,7 +7,7 @@ Each module groups the rules of one contract area:
 * :mod:`repro.lint.rules.numerics` — numerical stability (NUM001, NUM002)
 * :mod:`repro.lint.rules.design_space` — design-space names (DS001)
 * :mod:`repro.lint.rules.registry_sync` — exhibit registry drift (REG001)
-* :mod:`repro.lint.rules.api` — API hygiene (API001)
+* :mod:`repro.lint.rules.api` — API hygiene (API001, API002)
 """
 
 from repro.lint.rules import api, design_space, numerics, registry_sync, rng

@@ -266,6 +266,54 @@ class TestAPI001:
         assert result.ok and len(result.suppressed) == 1
 
 
+class TestAPI002:
+    def test_flags_calls_in_defaults(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from pathlib import Path
+
+            def default_dir():
+                return Path(".cache")
+
+            def run(cache=default_dir(), names=tuple(sorted(["a"])),
+                    *, out=Path("results")):
+                return cache, names, out
+            """, select={"API002"})
+        # default_dir(), tuple(...), sorted(...) and Path(...) all fire.
+        assert rule_ids(result) == ["API002"] * 4
+
+    def test_mutable_factories_left_to_api001(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def sweep(acc=dict(), opts=list()):
+                return acc, opts
+            """)
+        # dict()/list() defaults are API001's finding, reported once each.
+        assert rule_ids(result) == ["API001", "API001"]
+
+    def test_allows_constants_names_and_none_sentinel(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            LIMIT = 50
+            _UNSET = object()
+
+            def _resolve(cache):
+                return cache
+
+            def run(cache=None, limit=LIMIT, scale=1.0, mode="fast",
+                    sentinel=_UNSET):
+                cache = _resolve(cache)
+                return cache, limit, scale, mode, sentinel
+            """, select={"API002"})
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import os
+
+            def run(root=os.getcwd()):  # repro: noqa[API002]
+                return root
+            """, select={"API002"})
+        assert result.ok and len(result.suppressed) == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self, tmp_path):
         result = lint_source(tmp_path, "def broken(:\n")
@@ -330,7 +378,8 @@ class TestFramework:
         assert {"rule", "path", "line", "col", "message"} <= set(doc["findings"][0])
 
     def test_every_rule_has_id_title_and_docs(self):
-        expected = {"RNG001", "NUM001", "NUM002", "DS001", "REG001", "API001"}
+        expected = {"RNG001", "NUM001", "NUM002", "DS001", "REG001",
+                    "API001", "API002"}
         assert expected <= set(RULES)
         for rule_id, cls in RULES.items():
             assert cls.title, rule_id
@@ -376,7 +425,8 @@ class TestCli:
         assert self._run(str(dirty), "--select", "NUM002").returncode == 0
         listing = self._run("--list-rules")
         assert listing.returncode == 0
-        for rule_id in ("RNG001", "NUM001", "NUM002", "DS001", "REG001", "API001"):
+        for rule_id in ("RNG001", "NUM001", "NUM002", "DS001", "REG001",
+                        "API001", "API002"):
             assert rule_id in listing.stdout
 
     def test_missing_path_is_usage_error(self):
