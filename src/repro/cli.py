@@ -21,14 +21,31 @@ Commands
 ``lint``
     Run the repo's static-analysis pass (see :mod:`repro.lint`); extra
     arguments are forwarded to ``repro-lint`` unchanged.
+``trace summary``
+    Render the span tree of a JSONL trace file with per-span call counts
+    and cumulative/self times.
+
+Observability
+-------------
+``simulate``, ``build``, ``experiments``, ``benchmarks`` and ``report``
+accept a global ``--trace[=PATH]`` flag (or ``REPRO_TRACE=1`` /
+``REPRO_TRACE=path`` in the environment) that records the run's span tree
+and metrics to a JSONL file — by default
+``results/trace-<command>.jsonl``.  ``build`` and ``simulate`` always
+write a ``manifest.json`` next to their results recording seed,
+design-space hash, git SHA, package version and metric totals.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.core.design_space import paper_design_space, paper_test_space
 from repro.core.procedure import BuildRBFModel
 from repro.experiments.registry import EXPERIMENTS
@@ -77,10 +94,20 @@ def _override_grid(overrides: dict) -> List[dict]:
     return combos
 
 
+def _write_run_manifest(command: str, **kwargs) -> None:
+    """Write ``results/manifest.json`` for one CLI run and say where."""
+    from repro.experiments.report import results_dir
+
+    manifest = obs.build_manifest(command, **kwargs)
+    path = obs.write_manifest(results_dir() / "manifest.json", manifest)
+    print(f"[manifest written to {path}]")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """``repro simulate``: detailed simulation at one or a grid of configs."""
     overrides = _parse_overrides(args.overrides)
     grid = _override_grid(overrides)
+    start = time.perf_counter()
     if len(grid) == 1:
         try:
             config = ProcessorConfig(**grid[0])
@@ -91,6 +118,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         rows = [(k, f"{v:.4g}") for k, v in result.as_dict().items()]
         print(format_table(["metric", "value"], rows,
                            title=f"{spec_label(args.benchmark)} on {args.trace_length} instructions"))
+        _write_run_manifest(
+            "simulate",
+            overrides=grid[0],
+            wall_time_s=time.perf_counter() - start,
+            extra={"benchmark": args.benchmark,
+                   "trace_length": args.trace_length,
+                   "configurations": 1,
+                   "cpi": result.cpi},
+        )
         return 0
     try:
         configs = [ProcessorConfig(**combo) for combo in grid]
@@ -114,25 +150,51 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         title=(f"{spec_label(args.benchmark)} on {args.trace_length} "
                f"instructions, {len(grid)} configurations"),
     ))
+    _write_run_manifest(
+        "simulate",
+        overrides={k: list(v) if isinstance(v, tuple) else v
+                   for k, v in overrides.items()},
+        wall_time_s=time.perf_counter() - start,
+        extra={"benchmark": args.benchmark,
+               "trace_length": args.trace_length,
+               "configurations": len(grid)},
+    )
     return 0
+
+
+def _resolve_benchmark(args: argparse.Namespace) -> str:
+    """Benchmark from the optional positional or the ``--benchmark`` flag."""
+    pos = getattr(args, "benchmark", None)
+    flag = getattr(args, "benchmark_flag", None)
+    if pos and flag and pos != flag:
+        raise SystemExit(
+            f"benchmark given twice with different values ({pos!r} vs {flag!r})"
+        )
+    name = flag or pos
+    if not name:
+        raise SystemExit("a benchmark is required (positional or --benchmark)")
+    return name
 
 
 def cmd_build(args: argparse.Namespace) -> int:
     """``repro build``: run BuildRBFmodel and print the validation report."""
+    benchmark = _resolve_benchmark(args)
     space = paper_design_space()
     try:
         runner = SimulationRunner(
-            args.benchmark, trace_length=args.trace_length, jobs=args.jobs
+            benchmark, trace_length=args.trace_length, jobs=args.jobs
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+    start = time.perf_counter()
     builder = BuildRBFModel(space, runner.cpi, seed=args.seed)
     tspace = paper_test_space()
     test_phys = tspace.decode(random_design(tspace, args.test_points, seed=args.seed + 1))
     test_cpi = runner.cpi(test_phys)
     result = builder.build(args.sample_size, test_phys, test_cpi)
+    wall = time.perf_counter() - start
     stats = runner.stats()
-    print(f"benchmark      : {spec_label(args.benchmark)}")
+    print(f"benchmark      : {spec_label(benchmark)}")
     print(f"sample size    : {args.sample_size}")
     print(f"p_min / alpha  : {result.info.p_min} / {result.info.alpha}")
     print(f"RBF centers    : {result.info.num_centers}")
@@ -140,6 +202,35 @@ def cmd_build(args: argparse.Namespace) -> int:
     print(f"simulations run: {stats['simulations_run']} (+{stats['cache_hits']} cached)")
     print(f"workers        : {stats['jobs']}")
     print(f"sim wall time  : {stats['wall_time_s']:.2f}s")
+    assert result.errors is not None
+    _write_run_manifest(
+        "build",
+        seed=args.seed,
+        design_space=space,
+        overrides={"sample_size": args.sample_size,
+                   "test_points": args.test_points,
+                   "trace_length": args.trace_length,
+                   "jobs": stats["jobs"]},
+        metrics=runner.metrics.snapshot(),
+        wall_time_s=wall,
+        extra={"benchmark": benchmark,
+               "p_min": result.info.p_min,
+               "alpha": result.info.alpha,
+               "num_centers": result.info.num_centers,
+               "mean_error_pct": result.errors.mean},
+    )
+    return 0
+
+
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    """``repro trace summary``: render the span tree of a JSONL trace."""
+    try:
+        trace = obs.read_trace(args.path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"malformed trace: {exc}")
+    print(obs.render_summary(trace))
     return 0
 
 
@@ -205,9 +296,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'A Predictive Performance Model for "
                     "Superscalar Processors' (MICRO 2006)",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {obs.package_version()}",
+    )
+    # Shared by every run-style subcommand; ``--trace`` takes an optional
+    # path (bare ``--trace`` means the default results/trace-<cmd>.jsonl).
+    traced = argparse.ArgumentParser(add_help=False)
+    traced.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="PATH",
+        help="record a JSONL span/metrics trace (default path: "
+             "results/trace-<command>.jsonl); $REPRO_TRACE does the same",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_sim = sub.add_parser("simulate", help="run one detailed simulation")
+    p_sim = sub.add_parser("simulate", parents=[traced],
+                           help="run one detailed simulation")
     p_sim.add_argument("benchmark", choices=benchmark_names())
     p_sim.add_argument("overrides", nargs="*",
                        help="ProcessorConfig overrides, e.g. l2_lat=18 rob_size=96")
@@ -217,8 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_JOBS, else serial)")
     p_sim.set_defaults(func=cmd_simulate)
 
-    p_build = sub.add_parser("build", help="build and validate a CPI model")
-    p_build.add_argument("benchmark", choices=benchmark_names())
+    p_build = sub.add_parser("build", parents=[traced],
+                             help="build and validate a CPI model")
+    p_build.add_argument("benchmark", nargs="?", choices=benchmark_names())
+    p_build.add_argument("--benchmark", dest="benchmark_flag",
+                         choices=benchmark_names(),
+                         help="benchmark (alternative to the positional)")
     p_build.add_argument("--sample-size", type=int, default=90)
     p_build.add_argument("--test-points", type=int, default=50)
     p_build.add_argument("--trace-length", type=int, default=32768)
@@ -228,16 +336,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: $REPRO_JOBS, else serial)")
     p_build.set_defaults(func=cmd_build)
 
-    p_exp = sub.add_parser("experiments", help="list reproduced exhibits")
+    p_exp = sub.add_parser("experiments", parents=[traced],
+                           help="list reproduced exhibits")
     p_exp.set_defaults(func=cmd_experiments)
 
-    p_bench = sub.add_parser("benchmarks", help="list synthetic workloads")
+    p_bench = sub.add_parser("benchmarks", parents=[traced],
+                             help="list synthetic workloads")
     p_bench.set_defaults(func=cmd_benchmarks)
 
     p_report = sub.add_parser(
-        "report", help="aggregate regenerated exhibits into one summary"
+        "report", parents=[traced],
+        help="aggregate regenerated exhibits into one summary",
     )
     p_report.set_defaults(func=cmd_report)
+
+    p_trace = sub.add_parser("trace", help="inspect recorded trace files")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summary", help="render a trace's span tree with timings"
+    )
+    p_tsum.add_argument("path", help="a JSONL trace file (from --trace)")
+    p_tsum.set_defaults(func=cmd_trace_summary)
 
     p_lint = sub.add_parser(
         "lint", help="run the static-analysis pass (repro-lint)"
@@ -246,6 +365,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="arguments forwarded to repro-lint")
     p_lint.set_defaults(func=cmd_lint)
     return parser
+
+
+def _trace_destination(args: argparse.Namespace) -> Optional[Path]:
+    """Where this invocation's trace goes, or ``None`` when not tracing.
+
+    ``--trace`` wins over the environment; ``REPRO_TRACE`` set to ``1`` /
+    ``true`` / empty selects the default path, anything else is the path.
+    """
+    if args.command in ("trace", "lint"):
+        return None
+    spec = getattr(args, "trace", None)
+    if spec is None:
+        env = os.environ.get("REPRO_TRACE")
+        if env is None or env.lower() in ("0", "false", "no"):
+            return None
+        spec = "" if env.lower() in ("", "1", "true", "yes") else env
+    if spec == "":
+        from repro.experiments.report import results_dir
+
+        return results_dir() / f"trace-{args.command}.jsonl"
+    return Path(spec)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -259,7 +399,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    dest = _trace_destination(args)
+    if dest is None:
+        return args.func(args)
+    with obs.collecting() as collector:
+        with obs.span(f"repro/{args.command}"):
+            code = args.func(args)
+        obs.write_trace(collector, dest, header={"command": args.command})
+    print(f"[trace written to {dest}]")
+    return code
 
 
 if __name__ == "__main__":

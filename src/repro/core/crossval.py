@@ -22,6 +22,7 @@ from typing import Callable, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.validation import ErrorReport, prediction_errors
 from repro.models.rbf import RBFNetwork, gaussian_design_matrix
 from repro.util.rng import make_rng
@@ -49,11 +50,13 @@ def kfold_error(
         raise ValueError("folds must be between 2 and the sample size")
     order = make_rng(seed, "kfold", p, folds).permutation(p)
     predictions = np.empty(p)
-    for f in range(folds):
-        held = order[f::folds]
-        train = np.setdiff1d(order, held)
-        predictor = fit_fn(points[train], responses[train])
-        predictions[held] = predictor(points[held])
+    with obs.span("crossval/kfold", folds=folds, points=p):
+        for f in range(folds):
+            held = order[f::folds]
+            train = np.setdiff1d(order, held)
+            predictor = fit_fn(points[train], responses[train])
+            predictions[held] = predictor(points[held])
+        obs.inc("crossval/kfold_runs")
     return prediction_errors(responses, predictions)
 
 
@@ -74,14 +77,17 @@ def loo_rbf_error(
     """
     points = np.atleast_2d(np.asarray(points, dtype=float))
     responses = np.asarray(responses, dtype=float).ravel()
-    a = gaussian_design_matrix(points, network.centers, network.radii)
-    gram = a.T @ a
-    gram[np.diag_indices_from(gram)] += ridge
-    inner = np.linalg.solve(gram, a.T)
-    hat_diag = np.einsum("ij,ji->i", a, inner)
-    weights = inner @ responses
-    resid = responses - a @ weights
-    denom = np.clip(1.0 - hat_diag, 1e-6, None)
-    loo_resid = resid / denom
-    loo_pred = responses - loo_resid
+    with obs.span("crossval/loo", points=len(points),
+                  centers=network.num_centers):
+        a = gaussian_design_matrix(points, network.centers, network.radii)
+        gram = a.T @ a
+        gram[np.diag_indices_from(gram)] += ridge
+        inner = np.linalg.solve(gram, a.T)
+        hat_diag = np.einsum("ij,ji->i", a, inner)
+        weights = inner @ responses
+        resid = responses - a @ weights
+        denom = np.clip(1.0 - hat_diag, 1e-6, None)
+        loo_resid = resid / denom
+        loo_pred = responses - loo_resid
+        obs.inc("crossval/loo_runs")
     return prediction_errors(responses, loo_pred), loo_pred

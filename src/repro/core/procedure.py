@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.design_space import DesignSpace
 from repro.core.validation import ErrorReport, prediction_errors
 from repro.models.rbf import (
@@ -114,34 +115,49 @@ class BuildRBFModel:
         ``test_points`` are *physical* points; when provided together with
         ``test_responses``, the result carries an :class:`ErrorReport`.
         """
-        sample = self.sample_points(sample_size)
-        physical = self.space.decode(sample.points, num_levels=sample_size)
-        unit = self.space.encode(physical)
-        responses = np.asarray(self.response_fn(physical), dtype=float).ravel()
-        if len(responses) != sample_size:
-            raise ValueError(
-                f"response_fn returned {len(responses)} values for {sample_size} points"
+        with obs.span("build", sample_size=sample_size, seed=self.seed) as bsp:
+            with obs.span("sample", candidates=self.lhs_candidates) as ssp:
+                sample = self.sample_points(sample_size)
+                ssp.set(discrepancy=sample.discrepancy)
+            physical = self.space.decode(sample.points, num_levels=sample_size)
+            unit = self.space.encode(physical)
+            with obs.span("simulate", points=sample_size):
+                responses = np.asarray(
+                    self.response_fn(physical), dtype=float
+                ).ravel()
+            if len(responses) != sample_size:
+                raise ValueError(
+                    f"response_fn returned {len(responses)} values for "
+                    f"{sample_size} points"
+                )
+            with obs.span("fit", criterion=self.criterion) as fsp:
+                search = search_rbf_model(
+                    unit,
+                    responses,
+                    p_min_grid=self.p_min_grid,
+                    alpha_grid=self.alpha_grid,
+                    criterion=self.criterion,
+                    max_candidates=self.max_candidates,
+                )
+                fsp.set(p_min=search.info.p_min, alpha=search.info.alpha,
+                        centers=search.info.num_centers,
+                        criterion_value=search.info.criterion_value)
+            result = ModelBuildResult(
+                sample_size=sample_size,
+                sample=sample,
+                unit_points=unit,
+                physical_points=physical,
+                responses=responses,
+                search=search,
             )
-        search = search_rbf_model(
-            unit,
-            responses,
-            p_min_grid=self.p_min_grid,
-            alpha_grid=self.alpha_grid,
-            criterion=self.criterion,
-            max_candidates=self.max_candidates,
-        )
-        result = ModelBuildResult(
-            sample_size=sample_size,
-            sample=sample,
-            unit_points=unit,
-            physical_points=physical,
-            responses=responses,
-            search=search,
-        )
-        if test_points is not None and test_responses is not None:
-            predicted = result.predict_physical(self.space, test_points)
-            result.errors = prediction_errors(test_responses, predicted)
-        self.history.append(result)
+            if test_points is not None and test_responses is not None:
+                with obs.span("validate", points=len(test_points)) as vsp:
+                    predicted = result.predict_physical(self.space, test_points)
+                    result.errors = prediction_errors(test_responses, predicted)
+                    vsp.set(mean_error=result.errors.mean,
+                            max_error=result.errors.max)
+                bsp.set(mean_error=result.errors.mean)
+            self.history.append(result)
         return result
 
     def build_until(
@@ -158,15 +174,28 @@ class BuildRBFModel:
         (never stops early when the target is ``None``).
         """
         results: List[ModelBuildResult] = []
-        for size in sizes:
-            result = self.build(size, test_points, test_responses)
-            results.append(result)
-            if result.errors is None:
-                # Not an assert: control flow must survive ``python -O``.
-                raise RuntimeError(
-                    f"build({size}) produced no error report; build_until "
-                    "requires test_points and test_responses"
-                )
-            if target_mean_error is not None and result.errors.mean <= target_mean_error:
-                break
+        with obs.span("build_until", sizes=list(sizes),
+                      target=target_mean_error) as sp:
+            for size in sizes:
+                with obs.span("step", sample_size=size) as step:
+                    result = self.build(size, test_points, test_responses)
+                    results.append(result)
+                    if result.errors is None:
+                        # Not an assert: control flow must survive ``python -O``.
+                        raise RuntimeError(
+                            f"build({size}) produced no error report; "
+                            "build_until requires test_points and "
+                            "test_responses"
+                        )
+                    # The per-step AICc/error trajectory the paper's step 6
+                    # decision walks down.
+                    step.set(aicc=result.info.criterion_value,
+                             centers=result.info.num_centers,
+                             mean_error=result.errors.mean)
+                    obs.observe("build_until/mean_error", result.errors.mean)
+                    obs.observe("build_until/aicc", result.info.criterion_value)
+                if (target_mean_error is not None
+                        and result.errors.mean <= target_mean_error):
+                    break
+            sp.set(steps=len(results))
         return results

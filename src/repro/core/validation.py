@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.util.rng import make_rng
 
 
@@ -67,6 +68,8 @@ def prediction_errors(true_values: np.ndarray, predicted: np.ndarray) -> ErrorRe
     if np.any(true_values == 0):
         raise ValueError("true responses contain zeros; percentage error undefined")
     pct = np.abs(predicted - true_values) / np.abs(true_values) * 100.0
+    obs.inc("validation/points", len(pct))
+    obs.observe("validation/mean_error", float(pct.mean()))
     return ErrorReport(
         mean=float(pct.mean()),
         max=float(pct.max()),

@@ -10,10 +10,12 @@ Table 3 harness already built; simulation results are memoised on disk by
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.design_space import DesignSpace, paper_design_space, paper_test_space
 from repro.core.procedure import BuildRBFModel, ModelBuildResult
 from repro.experiments.runner import SimulationRunner, resolve_jobs
@@ -37,6 +39,24 @@ _test_sets: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
 _builders: Dict[str, BuildRBFModel] = {}
 _models: Dict[Tuple[str, int], ModelBuildResult] = {}
 _linear_models: Dict[Tuple[str, int], LinearInteractionModel] = {}
+
+
+@contextmanager
+def stage(name: str, **attrs) -> Iterator[object]:
+    """Span one pipeline stage and attribute any failure to it.
+
+    Wraps the body in an ``obs`` span; when the body raises, the exception
+    is recorded as a structured failure event naming the stage (and
+    annotated with a note, see :func:`repro.obs.record_failure`) before it
+    propagates.  This is how a fig/table exhibit that dies mid-run reports
+    *which* stage failed rather than just a bare traceback.
+    """
+    with obs.span(name, **attrs) as sp:
+        try:
+            yield sp
+        except Exception as exc:
+            obs.record_failure(name, exc, **attrs)
+            raise
 
 
 def training_space() -> DesignSpace:
@@ -66,10 +86,11 @@ def test_set(benchmark: str) -> Tuple[np.ndarray, np.ndarray]:
     across all experiments touching the benchmark.
     """
     if benchmark not in _test_sets:
-        tspace = paper_test_space()
-        unit = random_design(tspace, TEST_POINTS, seed=TEST_SEED)
-        phys = tspace.decode(unit)
-        cpi = runner(benchmark).cpi(phys)
+        with stage("test_set", benchmark=benchmark, points=TEST_POINTS):
+            tspace = paper_test_space()
+            unit = random_design(tspace, TEST_POINTS, seed=TEST_SEED)
+            phys = tspace.decode(unit)
+            cpi = runner(benchmark).cpi(phys)
         _test_sets[benchmark] = (phys, cpi)
     return _test_sets[benchmark]
 
@@ -92,7 +113,8 @@ def rbf_model(benchmark: str, sample_size: int) -> ModelBuildResult:
     key = (benchmark, sample_size)
     if key not in _models:
         phys, cpi = test_set(benchmark)
-        _models[key] = builder(benchmark).build(sample_size, phys, cpi)
+        with stage("rbf_model", benchmark=benchmark, sample_size=sample_size):
+            _models[key] = builder(benchmark).build(sample_size, phys, cpi)
     return _models[key]
 
 
@@ -106,9 +128,11 @@ def linear_model(benchmark: str, sample_size: int) -> LinearInteractionModel:
     key = (benchmark, sample_size)
     if key not in _linear_models:
         result = rbf_model(benchmark, sample_size)
-        _linear_models[key] = LinearInteractionModel.fit(
-            result.unit_points, result.responses, criterion="aic"
-        )
+        with stage("linear_model", benchmark=benchmark,
+                   sample_size=sample_size):
+            _linear_models[key] = LinearInteractionModel.fit(
+                result.unit_points, result.responses, criterion="aic"
+            )
     return _linear_models[key]
 
 

@@ -2,13 +2,18 @@
 
 Each benchmark regenerating a paper exhibit both prints its rows/series
 (visible with ``pytest -s`` and in failure output) and writes them under
-``results/`` so the artifacts survive the pytest run.
+``results/`` so the artifacts survive the pytest run.  Alongside every
+``<name>.txt`` a ``<name>.manifest.json`` records provenance: seed, git
+SHA, package version, and the simulation-cost metrics accumulated by the
+shared runners (see :mod:`repro.obs.manifest`).
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
+
+from repro import obs
 
 _RESULTS_ENV = "REPRO_RESULTS_DIR"
 
@@ -18,12 +23,35 @@ def results_dir() -> Path:
     return Path(os.environ.get(_RESULTS_ENV, "results"))
 
 
+def _exhibit_manifest(name: str) -> dict:
+    """Provenance manifest for one exhibit's emitted artifact."""
+    from repro.experiments import common
+
+    metrics = obs.MetricsRegistry()
+    for bench_runner in common._runners.values():
+        metrics.merge(bench_runner.metrics.snapshot())
+    return obs.build_manifest(
+        command=f"exhibit:{name}",
+        seed=common.EXPERIMENT_SEED,
+        metrics=metrics.snapshot(),
+        extra={
+            "benchmarks": sorted(common._runners),
+            "test_seed": common.TEST_SEED,
+        },
+    )
+
+
 def emit(name: str, text: str) -> Path:
-    """Print ``text`` and persist it as ``results/<name>.txt``."""
-    print()
-    print(text)
+    """Print ``text`` and persist it as ``results/<name>.txt``.
+
+    Also writes ``results/<name>.manifest.json`` capturing the run's
+    provenance and the cumulative simulation cost behind the exhibit.
+    """
+    obs.echo()
+    obs.echo(text)
     out = results_dir()
     out.mkdir(parents=True, exist_ok=True)
     path = out / f"{name}.txt"
     path.write_text(text + "\n")
+    obs.write_manifest(out / f"{name}.manifest.json", _exhibit_manifest(name))
     return path

@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.design_space import DesignSpace, paper_design_space
 from repro.simulator.config import ProcessorConfig
 from repro.simulator.simulator import Simulator
@@ -107,18 +108,36 @@ def _summarize(result) -> Dict[str, float]:
 #: Per-worker-process trace, built once by :func:`_worker_init`.
 _WORKER_TRACE = None
 
+#: Whether worker processes should record spans/metrics for the parent.
+_WORKER_OBS = False
 
-def _worker_init(benchmark: str, trace_length: int, seed: int) -> None:
+
+def _worker_init(benchmark: str, trace_length: int, seed: int,
+                 trace_enabled: bool = False) -> None:
     """Pool initializer: build the benchmark trace once per worker process."""
-    global _WORKER_TRACE
+    global _WORKER_TRACE, _WORKER_OBS
     _WORKER_TRACE = get_trace(benchmark, trace_length, seed)
+    _WORKER_OBS = bool(trace_enabled)
 
 
-def _worker_simulate(task: Tuple[Any, Dict[str, int]]) -> Tuple[Any, Dict[str, float]]:
-    """Pool task: simulate one ``(key, config-kwargs)`` pair."""
+def _worker_simulate(
+    task: Tuple[Any, Dict[str, int]]
+) -> Tuple[Any, Dict[str, float], Optional[Dict[str, Any]]]:
+    """Pool task: simulate one ``(key, config-kwargs)`` pair.
+
+    Returns ``(key, summary, obs_payload)``.  When the parent enabled
+    tracing, the simulation runs under a worker-local
+    :class:`repro.obs.Collector` and the third element carries its span
+    tree and metrics (plain JSON) for the parent to graft into the live
+    trace; otherwise it is ``None``.
+    """
     key, kwargs = task
-    result = Simulator(ProcessorConfig(**kwargs)).run(_WORKER_TRACE)
-    return key, _summarize(result)
+    if not _WORKER_OBS:
+        result = Simulator(ProcessorConfig(**kwargs)).run(_WORKER_TRACE)
+        return key, _summarize(result), None
+    with obs.collecting() as collector:
+        result = Simulator(ProcessorConfig(**kwargs)).run(_WORKER_TRACE)
+    return key, _summarize(result), collector.payload()
 
 
 def simulate_configs(
@@ -140,19 +159,26 @@ def simulate_configs(
         return []
     jobs = min(resolve_jobs(jobs), len(configs))
     tasks = [(index, config.as_dict()) for index, config in enumerate(configs)]
-    if jobs > 1:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_worker_init,
-            initargs=(benchmark, trace_length, seed),
-        ) as pool:
-            results = dict(pool.map(_worker_simulate, tasks))
-    else:
-        trace = get_trace(benchmark, trace_length, seed)
-        results = {
-            index: _summarize(Simulator(ProcessorConfig(**kwargs)).run(trace))
-            for index, kwargs in tasks
-        }
+    with obs.span("simulate_configs", benchmark=benchmark,
+                  configs=len(configs), jobs=jobs):
+        collector = obs.current()
+        if jobs > 1:
+            results = {}
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_worker_init,
+                initargs=(benchmark, trace_length, seed, obs.enabled()),
+            ) as pool:
+                for index, summary, payload in pool.map(_worker_simulate, tasks):
+                    results[index] = summary
+                    if collector is not None:
+                        collector.adopt(payload, attrs={"worker": True})
+        else:
+            trace = get_trace(benchmark, trace_length, seed)
+            results = {
+                index: _summarize(Simulator(ProcessorConfig(**kwargs)).run(trace))
+                for index, kwargs in tasks
+            }
     return [results[index] for index in range(len(configs))]
 
 
@@ -193,9 +219,11 @@ class SimulationRunner:
         self.trace_length = trace_length
         self.seed = seed
         self.jobs = resolve_jobs(jobs)
-        self.simulations_run = 0
-        self.cache_hits = 0
-        self.wall_time = 0.0
+        #: Execution accounting lives in a metrics registry (PR 3 folded
+        #: the ad-hoc ``stats()`` counters into it); :meth:`stats` and the
+        #: ``simulations_run``/``cache_hits``/``wall_time`` properties are
+        #: thin views over it.
+        self.metrics = obs.MetricsRegistry()
         self._dirty = 0
         self._cache: Dict[str, Dict[str, float]] = {}
         self._cache_path: Optional[Path] = None
@@ -209,6 +237,28 @@ class SimulationRunner:
             fp = self._trace_fingerprint()
             self._cache_path = cache_dir / f"{benchmark}-{trace_length}-{seed}-{fp}.json"
             self._cache = self._read_disk()
+
+    # -- accounting --------------------------------------------------------
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        """Record into the runner's registry and mirror to any live trace."""
+        self.metrics.inc(name, value)
+        obs.inc(name, value)
+
+    @property
+    def simulations_run(self) -> int:
+        """Detailed simulations actually executed (cache misses)."""
+        return int(self.metrics.counter("simulations_run"))
+
+    @property
+    def cache_hits(self) -> int:
+        """Lookups served from the memo cache."""
+        return int(self.metrics.counter("cache_hits"))
+
+    @property
+    def wall_time(self) -> float:
+        """Cumulative wall time spent inside :meth:`metric` (seconds)."""
+        return self.metrics.counter("wall_time_s")
 
     def _trace_fingerprint(self) -> str:
         """Short stable hash of the benchmark trace's content."""
@@ -267,34 +317,48 @@ class SimulationRunner:
         key = config.key()
         cached = self._cache.get(key)
         if cached is not None:
-            self.cache_hits += 1
+            self._count("cache_hits")
             return dict(cached)
         trace = get_trace(self.benchmark, self.trace_length, self.seed)
         summary = _summarize(Simulator(config).run(trace))
-        self.simulations_run += 1
+        self._count("simulations_run")
         self._cache[key] = summary
         self._dirty += 1
         return dict(summary)
 
     def _simulate_batch(self, configs: Dict[str, Dict[str, int]]) -> None:
-        """Simulate the uncached configurations, fanning out when allowed."""
+        """Simulate the uncached configurations, fanning out when allowed.
+
+        Under tracing, each parallel worker records its simulations into a
+        local collector and ships the spans/metrics back through the pool
+        result tuple; the batch span below adopts them, so the parent's
+        trace shows per-worker simulation spans exactly like the serial
+        path shows in-process ones.
+        """
         workers = min(self.jobs, len(configs))
-        if workers > 1:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                initargs=(self.benchmark, self.trace_length, self.seed),
-            ) as pool:
-                for key, summary in pool.map(_worker_simulate, configs.items()):
-                    self._cache[key] = summary
-        else:
-            trace = get_trace(self.benchmark, self.trace_length, self.seed)
-            for key, kwargs in configs.items():
-                self._cache[key] = _summarize(
-                    Simulator(ProcessorConfig(**kwargs)).run(trace)
-                )
+        with obs.span("simulate_batch", benchmark=self.benchmark,
+                      simulations=len(configs), workers=workers):
+            collector = obs.current()
+            if workers > 1:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(self.benchmark, self.trace_length, self.seed,
+                              obs.enabled()),
+                ) as pool:
+                    for key, summary, payload in pool.map(
+                            _worker_simulate, configs.items()):
+                        self._cache[key] = summary
+                        if collector is not None:
+                            collector.adopt(payload, attrs={"worker": True})
+            else:
+                trace = get_trace(self.benchmark, self.trace_length, self.seed)
+                for key, kwargs in configs.items():
+                    self._cache[key] = _summarize(
+                        Simulator(ProcessorConfig(**kwargs)).run(trace)
+                    )
         self._dirty += len(configs)
-        self.simulations_run += len(configs)
+        self._count("simulations_run", len(configs))
 
     # -- vectorised response functions -------------------------------------
 
@@ -307,30 +371,39 @@ class SimulationRunner:
         """
         start = time.perf_counter()
         points = np.atleast_2d(np.asarray(points, dtype=float))
-        keys: List[str] = []
-        pending: Dict[str, Dict[str, int]] = {}
-        for row in points:
-            resolved = self.space.resolve(self.space.as_dict(row))
-            config = ProcessorConfig.from_design_point(resolved)
-            key = config.key()
-            keys.append(key)
-            if key not in self._cache and key not in pending:
-                pending[key] = config.as_dict()
-        if pending:
-            self._simulate_batch(pending)
-        # Stats bookkeeping matches the serial one-point-at-a-time path:
-        # each fresh key's first lookup is its simulation, all other
-        # lookups are cache hits.
-        consumed = set()
-        values = np.empty(len(points))
-        for i, key in enumerate(keys):
-            if key in pending and key not in consumed:
-                consumed.add(key)
-            else:
-                self.cache_hits += 1
-            values[i] = self._cache[key][name]
-        self._flush()
-        self.wall_time += time.perf_counter() - start
+        with obs.span("runner/metric", benchmark=self.benchmark, metric=name,
+                      points=len(points)) as sp:
+            keys: List[str] = []
+            pending: Dict[str, Dict[str, int]] = {}
+            for row in points:
+                resolved = self.space.resolve(self.space.as_dict(row))
+                config = ProcessorConfig.from_design_point(resolved)
+                key = config.key()
+                keys.append(key)
+                if key not in self._cache and key not in pending:
+                    pending[key] = config.as_dict()
+            if pending:
+                self._simulate_batch(pending)
+            # Stats bookkeeping matches the serial one-point-at-a-time path:
+            # each fresh key's first lookup is its simulation, all other
+            # lookups are cache hits.
+            consumed = set()
+            hits = 0
+            values = np.empty(len(points))
+            for i, key in enumerate(keys):
+                if key in pending and key not in consumed:
+                    consumed.add(key)
+                else:
+                    hits += 1
+                values[i] = self._cache[key][name]
+            if hits:
+                self._count("cache_hits", hits)
+            self._flush()
+            sp.set(uncached=len(pending), cache_hits=hits)
+        elapsed = time.perf_counter() - start
+        self.metrics.inc("wall_time_s", elapsed)
+        self.metrics.observe("metric_wall_s", elapsed)
+        obs.observe("runner/metric_wall_s", elapsed)
         return values
 
     def cpi(self, points: np.ndarray) -> np.ndarray:
@@ -342,7 +415,12 @@ class SimulationRunner:
         return self.metric(points, "power")
 
     def stats(self) -> Dict[str, Any]:
-        """Execution statistics: simulations, cache hits, workers, wall time."""
+        """Execution statistics: simulations, cache hits, workers, wall time.
+
+        A thin view over :attr:`metrics` — the registry is the source of
+        truth (merge it, snapshot it, fold it into a run manifest); this
+        method only preserves the historical dict shape.
+        """
         return {
             "benchmark": self.benchmark,
             "simulations_run": self.simulations_run,

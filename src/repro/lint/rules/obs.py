@@ -1,0 +1,60 @@
+"""Observability rule: OBS001 (no bare ``print`` in library code).
+
+Library modules that ``print`` bypass the observability layer: the output
+cannot be captured into traces, silenced in workers, or redirected by the
+harness, and it interleaves unpredictably with progress rendering under
+parallel runs.  Library code should either return data and let the caller
+render it, or go through :func:`repro.obs.echo` — the one console seam.
+
+The CLI front-ends (any ``cli.py``), the lint text reporter
+(``lint/reporters.py``) and the observability package itself
+(``repro/obs/``) are the designated console owners and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import List
+
+from repro.lint.core import FileContext, Finding, VisitorRule, register
+
+
+def _exempt(path: str) -> bool:
+    """Whether ``path`` may print: not library code, or a console owner."""
+    parts = PurePath(path).parts
+    if "repro" not in parts:
+        return True  # benchmarks/examples/tests render output by design
+    if parts[-1] == "cli.py":
+        return True
+    if "obs" in parts:
+        return True
+    return len(parts) >= 2 and parts[-2:] == ("lint", "reporters.py")
+
+
+@register
+class NoBarePrintRule(VisitorRule):
+    """Forbid bare ``print(...)`` in ``repro`` library modules."""
+
+    id = "OBS001"
+    title = "bare print() in library code bypasses the observability layer"
+    rationale = (
+        "print() in repro/ library modules cannot be captured into traces "
+        "or silenced in worker processes; return data to the caller or go "
+        "through repro.obs.echo. CLI front-ends, lint/reporters.py and "
+        "repro/obs itself own the console and are exempt."
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        if _exempt(ctx.path):
+            return []
+        return super().check_file(ctx)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.report(
+                node,
+                "bare print() in library code; return the text to the "
+                "caller or use repro.obs.echo",
+            )
+        self.generic_visit(node)

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.models.base import Model
 from repro.models.selection import get_criterion
 from repro.models.tree import RegressionTree, TreeNode
@@ -273,7 +274,9 @@ def search_rbf_model(
     best: Optional[Tuple[RBFNetwork, RBFBuildInfo]] = None
     tried: List[RBFBuildInfo] = []
     for p_min in p_min_grid:
-        tree = RegressionTree(points, responses, p_min=p_min)
+        with obs.span("fit/tree", p_min=p_min, points=len(points)) as tsp:
+            tree = RegressionTree(points, responses, p_min=p_min)
+            tsp.set(depth=tree.depth)
         for alpha in alpha_grid:
             network, info = build_rbf_from_tree(
                 points,
@@ -285,7 +288,11 @@ def search_rbf_model(
                 tree=tree,
             )
             tried.append(info)
+            obs.inc("aicc_iterations")
+            if np.isfinite(info.criterion_value):
+                obs.observe("fit/criterion", info.criterion_value)
             if best is None or info.criterion_value < best[1].criterion_value:
                 best = (network, info)
     assert best is not None
+    obs.inc("fit/searches")
     return RBFSearchResult(network=best[0], info=best[1], tried=tried)

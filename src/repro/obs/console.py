@@ -1,0 +1,19 @@
+"""The library's single console-output seam.
+
+Lint rule OBS001 bans bare ``print`` in library code: everything a module
+wants a human to see funnels through here (or through a reporter / the
+CLI), so console output stays greppable, testable and redirectable in one
+place.  :func:`echo` is deliberately tiny — the value is the choke point,
+not the implementation.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+def echo(text: str = "", stream: Optional[IO[str]] = None) -> None:
+    """Write one line of human-facing output (stdout by default)."""
+    out = stream if stream is not None else sys.stdout
+    out.write(str(text) + "\n")

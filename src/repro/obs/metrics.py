@@ -1,0 +1,158 @@
+"""Metrics primitives: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a tiny, dependency-free accumulator for the
+numbers the pipeline wants to account for — simulations run, cache hits,
+AICc iterations, per-point simulate latency.  Registries are cheap enough
+to exist always (the :class:`~repro.experiments.runner.SimulationRunner`
+keeps one regardless of tracing) and are designed to cross process
+boundaries: :meth:`MetricsRegistry.snapshot` produces a plain-JSON dict
+that workers return through their ``ProcessPoolExecutor`` result tuples,
+and :meth:`MetricsRegistry.merge` folds any number of snapshots back into
+a parent registry.
+
+Merge semantics:
+
+* **counters** add;
+* **gauges** keep the merged-in value (last writer wins — gauges are
+  point-in-time readings, not totals);
+* **histograms** combine count/sum/min/max exactly, so merged summaries
+  equal the summary of the concatenated observations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+
+class Histogram:
+    """Streaming summary of observed values: count, sum, min, max.
+
+    Deliberately bucket-free: the pipeline's questions ("how long does one
+    simulation take?", "how many AICc evaluations per fit?") are answered
+    by totals and extremes, and a bucket-free summary merges exactly
+    across processes.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-serialisable summary (used in snapshots and JSONL events)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Fold another histogram's :meth:`as_dict` summary into this one."""
+        count = int(other.get("count", 0))
+        if count == 0:
+            return
+        self.total += float(other.get("sum", 0.0))
+        o_min, o_max = float(other["min"]), float(other["max"])
+        if self.count == 0:
+            self.min, self.max = o_min, o_max
+        else:
+            assert self.min is not None and self.max is not None
+            self.min = min(self.min, o_min)
+            self.max = max(self.max, o_max)
+        self.count += count
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.total:.6g})"
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with cross-process merge."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to a point-in-time reading."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- reading ----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0.0 when never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge ``name`` (``default`` when never set)."""
+        return self.gauges.get(name, default)
+
+    def histogram(self, name: str) -> Histogram:
+        """Histogram ``name`` (an empty one when never observed)."""
+        return self.histograms.get(name, Histogram())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-JSON representation, safe to pickle across processes."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.as_dict() for k, h in self.histograms.items()},
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this.
+
+        Counters add, gauges take the snapshot's value, histograms combine
+        exactly.  Accepts partial snapshots (missing sections are skipped).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.merge(summary)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

@@ -1,0 +1,214 @@
+"""Trace sinks: JSONL event logs and human-readable summaries.
+
+The JSONL schema (``version`` 1) is one JSON object per line:
+
+* ``{"type": "trace", "version": 1, ...header...}`` — first line; carries
+  the command, argv and wall-clock start of the run.
+* ``{"type": "span", "id": n, "parent": m|null, "name": ..., "offset":
+  seconds-from-trace-origin, "dur": seconds, "attrs": {...}}`` — one per
+  recorded span, depth-first, ids in emission order so a parent always
+  precedes its children.
+* ``{"type": "failure", "stage": ..., "error": ..., "message": ...}`` —
+  structured stage-failure events (and any other recorded events).
+* ``{"type": "metrics", "counters": ..., "gauges": ..., "histograms":
+  ...}`` — final metric totals, last line.
+
+:func:`read_trace` round-trips the file back into span trees;
+:func:`render_summary` renders the tree with per-name call counts and
+cumulative/self times, which is what ``repro trace summary`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.tracing import Collector, SpanNode
+
+#: JSONL schema version stamped into the trace header.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceData:
+    """A trace read back from a JSONL file."""
+
+    def __init__(self, header: Dict[str, Any], roots: List[SpanNode],
+                 events: List[Dict[str, Any]], metrics: Dict[str, Any]):
+        self.header = header
+        self.roots = roots
+        self.events = events
+        self.metrics = metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceData(roots={len(self.roots)}, events={len(self.events)})"
+        )
+
+
+def _span_events(node: SpanNode, origin: float, parent_id: Optional[int],
+                 counter: List[int], out: List[Dict[str, Any]]) -> None:
+    """Flatten one span tree into JSONL span events (depth-first)."""
+    span_id = counter[0]
+    counter[0] += 1
+    out.append({
+        "type": "span",
+        "id": span_id,
+        "parent": parent_id,
+        "name": node.name,
+        "offset": round(node.start - origin, 9),
+        "dur": round(node.duration, 9),
+        "attrs": node.attrs,
+    })
+    for child in node.children:
+        _span_events(child, origin, span_id, counter, out)
+
+
+def write_trace(collector: Collector, path: Union[str, Path],
+                header: Optional[Mapping[str, Any]] = None) -> Path:
+    """Write the collector's content as a JSONL trace file.
+
+    Adopted worker spans carry clock readings from their own process;
+    their offsets are relative to the *worker's* trace origin, so only
+    durations are comparable across processes (the summary renderer uses
+    durations exclusively).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    head: Dict[str, Any] = {"type": "trace", "version": TRACE_SCHEMA_VERSION}
+    if header:
+        head.update(header)
+    events: List[Dict[str, Any]] = [head]
+    counter = [0]
+    for root in collector.roots:
+        _span_events(root, collector.origin, None, counter, events)
+    events.extend(dict(e) for e in collector.events)
+    metrics: Dict[str, Any] = {"type": "metrics"}
+    metrics.update(collector.metrics.snapshot())
+    events.append(metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> TraceData:
+    """Parse a JSONL trace file back into span trees, events and metrics.
+
+    Unknown event types are preserved in :attr:`TraceData.events` so newer
+    writers stay readable; malformed lines raise ``ValueError`` with the
+    offending line number.
+    """
+    header: Dict[str, Any] = {}
+    metrics: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+    nodes: Dict[int, SpanNode] = {}
+    roots: List[SpanNode] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            kind = event.get("type")
+            if kind == "trace":
+                header = event
+            elif kind == "span":
+                offset = float(event.get("offset", 0.0))
+                node = SpanNode(
+                    str(event.get("name", "?")),
+                    attrs=dict(event.get("attrs", {})),
+                    start=offset,
+                    end=offset + float(event.get("dur", 0.0)),
+                )
+                nodes[int(event["id"])] = node
+                parent = event.get("parent")
+                if parent is None or int(parent) not in nodes:
+                    roots.append(node)
+                else:
+                    nodes[int(parent)].children.append(node)
+            elif kind == "metrics":
+                metrics = event
+            else:
+                events.append(event)
+    return TraceData(header=header, roots=roots, events=events,
+                     metrics=metrics)
+
+
+# -- summary rendering -----------------------------------------------------
+
+
+def _aggregate(nodes: List[SpanNode]) -> List[Tuple[str, int, float, float, List[SpanNode]]]:
+    """Group sibling spans by name: (name, calls, cum, self, children)."""
+    order: List[str] = []
+    groups: Dict[str, List[SpanNode]] = {}
+    for node in nodes:
+        if node.name not in groups:
+            order.append(node.name)
+            groups[node.name] = []
+        groups[node.name].append(node)
+    rows = []
+    for name in order:
+        members = groups[name]
+        cum = sum(m.duration for m in members)
+        self_time = sum(m.self_time for m in members)
+        children: List[SpanNode] = []
+        for m in members:
+            children.extend(m.children)
+        rows.append((name, len(members), cum, self_time, children))
+    return rows
+
+
+def _render_rows(nodes: List[SpanNode], depth: int,
+                 lines: List[str]) -> None:
+    """Append aggregated tree rows (indented by depth) to ``lines``."""
+    for name, calls, cum, self_time, children in _aggregate(nodes):
+        label = "  " * depth + name
+        lines.append(
+            f"{label:<44} {calls:>6} {cum:>12.4f} {self_time:>12.4f}"
+        )
+        if children:
+            _render_rows(children, depth + 1, lines)
+
+
+def render_summary(trace: TraceData) -> str:
+    """Human-readable span tree with call counts and self/cumulative times.
+
+    Sibling spans sharing a name are aggregated into one row (a model
+    build runs hundreds of ``simulate`` spans; one row per simulation
+    would bury the structure the summary exists to show).
+    """
+    lines: List[str] = []
+    command = trace.header.get("command")
+    if command:
+        lines.append(f"trace: {command}")
+    lines.append(
+        f"{'span':<44} {'calls':>6} {'cum_s':>12} {'self_s':>12}"
+    )
+    lines.append("-" * 76)
+    _render_rows(trace.roots, 0, lines)
+    failures = [e for e in trace.events if e.get("type") == "failure"]
+    for failure in failures:
+        lines.append(
+            f"FAILURE in {failure.get('stage')}: "
+            f"{failure.get('error')}: {failure.get('message')}"
+        )
+    counters = trace.metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<42} {counters[name]:>14.6g}")
+    histograms = trace.metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<42} n={h.get('count', 0):<6.6g} "
+                f"sum={h.get('sum', 0.0):.6g} mean={h.get('mean', 0.0):.6g}"
+            )
+    return "\n".join(lines)

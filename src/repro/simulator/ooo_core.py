@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.simulator import isa
 from repro.simulator.branch import (
     PREDICT_BTB_MISS,
@@ -276,6 +277,13 @@ class OutOfOrderCore:
 
         full_stats = hier.stats()
         energy = estimate_energy(cfg, n, commit[-1] + 1.0, full_stats, bru.conditional)
+        if obs.enabled():
+            # Per-simulation instruction/cycle throughput accounting; pure
+            # bookkeeping on already-computed values, off the hot loop.
+            obs.inc("sim/instructions", measured_instr)
+            obs.inc("sim/cycles", cycles)
+            if cycles > 0:
+                obs.observe("sim/ipc", measured_instr / cycles)
         return SimResult(
             cpi=cycles / measured_instr,
             cycles=cycles,

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Optional
 
+from repro import obs
 from repro.core.design_space import DesignSpace
 from repro.simulator.config import ProcessorConfig
 from repro.simulator.metrics import SimResult
@@ -25,7 +27,20 @@ class Simulator:
     def run(self, trace: Trace, collect_timeline: bool = False) -> SimResult:
         """Simulate ``trace`` to completion on this configuration."""
         core = OutOfOrderCore(self.config)
-        result = core.run(trace, collect_timeline=collect_timeline)
+        if not obs.enabled():
+            result = core.run(trace, collect_timeline=collect_timeline)
+            self.last_core = core
+            return result
+        # Traced path: identical computation, plus a span and throughput
+        # metrics.  Timing never feeds back into the simulation.
+        with obs.span("simulate", instructions=len(trace)) as sp:
+            start = time.perf_counter()
+            result = core.run(trace, collect_timeline=collect_timeline)
+            elapsed = time.perf_counter() - start
+            sp.set(cycles=result.cycles, cpi=result.cpi)
+            obs.observe("simulate/wall_s", elapsed)
+            if elapsed > 0:
+                obs.observe("simulate/instructions_per_s", len(trace) / elapsed)
         self.last_core = core
         return result
 

@@ -314,6 +314,38 @@ class TestAPI002:
         assert result.ok and len(result.suppressed) == 1
 
 
+class TestOBS001:
+    def test_flags_print_in_library_module(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def run():
+                print("progress: 3/10")
+                return 3
+            """, filename="repro/experiments/demo.py", select={"OBS001"})
+        assert rule_ids(result) == ["OBS001"]
+
+    def test_exempts_cli_reporters_obs_and_non_library_code(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            'print("usage: repro ...")\n',
+            filename="repro/cli.py",
+            select={"OBS001"},
+            extra_files=[
+                ("repro/lint/cli.py", 'print("findings")\n'),
+                ("repro/lint/reporters.py", 'print("path:1:0 X001 msg")\n'),
+                ("repro/obs/console.py", 'print("echoed")\n'),
+                ("examples/sweep.py", 'print("cpi table")\n'),
+            ],
+        )
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def debug():
+                print("x")  # repro: noqa[OBS001]
+            """, filename="repro/util/debug.py", select={"OBS001"})
+        assert result.ok and len(result.suppressed) == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self, tmp_path):
         result = lint_source(tmp_path, "def broken(:\n")
@@ -379,7 +411,7 @@ class TestFramework:
 
     def test_every_rule_has_id_title_and_docs(self):
         expected = {"RNG001", "NUM001", "NUM002", "DS001", "REG001",
-                    "API001", "API002"}
+                    "API001", "API002", "OBS001"}
         assert expected <= set(RULES)
         for rule_id, cls in RULES.items():
             assert cls.title, rule_id
@@ -426,7 +458,7 @@ class TestCli:
         listing = self._run("--list-rules")
         assert listing.returncode == 0
         for rule_id in ("RNG001", "NUM001", "NUM002", "DS001", "REG001",
-                        "API001", "API002"):
+                        "API001", "API002", "OBS001"):
             assert rule_id in listing.stdout
 
     def test_missing_path_is_usage_error(self):
