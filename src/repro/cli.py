@@ -23,7 +23,17 @@ Commands
     arguments are forwarded to ``repro-lint`` unchanged.
 ``trace summary``
     Render the span tree of a JSONL trace file with per-span call counts
-    and cumulative/self times.
+    and cumulative/self times (``--json`` emits the machine-readable
+    aggregate instead).
+``trace profile``
+    Rank a trace's call stacks by *self time* — the profiling view — or
+    export flamegraph-compatible folded stacks (``--folded``).
+``bench``
+    Run the registered hot-path benchmarks (see
+    :mod:`repro.obs.prof.targets`), print the results table, and write a
+    schema-versioned ``results/BENCH_<run>.json``.  ``--check`` gates the
+    run against the committed ``benchmarks/perf/baseline.json`` and exits
+    non-zero on regression; ``--update-baseline`` refreshes the baseline.
 
 Observability
 -------------
@@ -222,15 +232,105 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace_summary(args: argparse.Namespace) -> int:
-    """``repro trace summary``: render the span tree of a JSONL trace."""
+def _load_trace_or_exit(path: str):
+    """Read a trace for a CLI command, degrading gracefully.
+
+    Missing, unreadable, empty, or mid-file-corrupt files exit 1 with a
+    one-line error; a partial trailing line (a run killed mid-write) is
+    skipped with a note on stderr, not a traceback.
+    """
     try:
-        trace = obs.read_trace(args.path)
+        trace = obs.read_trace(path, strict=False)
     except OSError as exc:
         raise SystemExit(f"cannot read trace: {exc}")
     except ValueError as exc:
         raise SystemExit(f"malformed trace: {exc}")
-    print(obs.render_summary(trace))
+    if trace.empty:
+        raise SystemExit(f"empty trace: {path} contains no trace events")
+    if trace.skipped_lines:
+        print(f"[skipped {trace.skipped_lines} partial trailing line(s); "
+              f"trace was truncated mid-write]", file=sys.stderr)
+    return trace
+
+
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    """``repro trace summary``: render the span tree of a JSONL trace."""
+    import json
+
+    from repro.obs.prof import summarize_trace
+
+    trace = _load_trace_or_exit(args.path)
+    if args.json:
+        print(json.dumps(summarize_trace(trace), indent=2, sort_keys=True))
+    else:
+        print(obs.render_summary(trace))
+    return 0
+
+
+def cmd_trace_profile(args: argparse.Namespace) -> int:
+    """``repro trace profile``: hot-span table or folded flamegraph stacks."""
+    from repro.obs.prof import render_profile, to_folded
+
+    trace = _load_trace_or_exit(args.path)
+    if args.folded:
+        sys.stdout.write(to_folded(trace))
+    else:
+        print(render_profile(trace, top=args.top))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run hot-path benchmarks, persist and gate results."""
+    from repro.experiments.report import results_dir
+    from repro.obs import prof
+
+    if args.list:
+        rows = [(s.name, s.group, str(s.repeats), f"{s.tolerance:g}x")
+                for s in prof.registered_benchmarks()]
+        print(format_table(["benchmark", "group", "repeats", "tolerance"],
+                           rows, title="Registered benchmarks"))
+        return 0
+    try:
+        results = prof.run_benchmarks(
+            names=args.names or None, quick=args.quick,
+            measure_memory=not args.no_memory,
+        )
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    print(prof.render_bench_table(results))
+    preset = "quick" if args.quick else "full"
+    doc = prof.results_document(results, preset=preset)
+    path = prof.write_results(doc, results_dir())
+    print(f"[bench results written to {path}]")
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else prof.DEFAULT_BASELINE_PATH)
+    if args.update_baseline:
+        previous = None
+        if baseline_path.exists():
+            try:
+                previous = prof.load_baseline(baseline_path)
+            except ValueError:
+                previous = None  # unreadable/old baseline: rebuild it
+        written = prof.write_baseline(
+            prof.make_baseline(results, preset=preset, previous=previous),
+            baseline_path)
+        print(f"[baseline updated at {written}]")
+        return 0
+    if args.check:
+        try:
+            baseline = prof.load_baseline(baseline_path)
+        except OSError as exc:
+            raise SystemExit(f"cannot read baseline: {exc}")
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        violations = prof.check_results(results, baseline, preset=preset)
+        if violations:
+            for violation in violations:
+                print(f"REGRESSION: {violation}")
+            print(f"[{len(violations)} benchmark(s) failed the perf gate]")
+            return 1
+        print(f"[perf gate passed: {len(results)} benchmark(s) within "
+              f"tolerance of {baseline_path}]")
     return 0
 
 
@@ -356,7 +456,46 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="render a trace's span tree with timings"
     )
     p_tsum.add_argument("path", help="a JSONL trace file (from --trace)")
+    p_tsum.add_argument("--json", action="store_true",
+                        help="emit the machine-readable aggregate instead "
+                             "of the table")
     p_tsum.set_defaults(func=cmd_trace_summary)
+    p_tprof = trace_sub.add_parser(
+        "profile", help="rank call stacks by self time / export flamegraph "
+                        "folded stacks"
+    )
+    p_tprof.add_argument("path", help="a JSONL trace file (from --trace)")
+    p_tprof.add_argument("--top", type=int, default=20,
+                         help="rows in the hot-span table (default 20)")
+    p_tprof.add_argument("--folded", action="store_true",
+                         help="emit flamegraph-compatible folded stacks "
+                              "(pipe to flamegraph.pl)")
+    p_tprof.set_defaults(func=cmd_trace_profile)
+
+    p_perf = sub.add_parser(
+        "bench", parents=[traced],
+        help="run hot-path benchmarks; gate against the perf baseline",
+    )
+    p_perf.add_argument("names", nargs="*",
+                        help="benchmark names to run (default: all; see "
+                             "--list)")
+    p_perf.add_argument("--quick", action="store_true",
+                        help="small problem sizes and fewer repeats (CI "
+                             "smoke preset)")
+    p_perf.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline and "
+                             "exit 1 on regression")
+    p_perf.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run (keeps "
+                             "hand-tuned tolerances)")
+    p_perf.add_argument("--baseline", default=None,
+                        help="baseline file (default: benchmarks/perf/"
+                             "baseline.json)")
+    p_perf.add_argument("--list", action="store_true",
+                        help="list registered benchmarks and exit")
+    p_perf.add_argument("--no-memory", action="store_true",
+                        help="skip the tracemalloc peak-memory pass")
+    p_perf.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(
         "lint", help="run the static-analysis pass (repro-lint)"

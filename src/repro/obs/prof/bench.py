@@ -1,0 +1,281 @@
+"""Deterministic benchmark harness: registry, timing loop, memory capture.
+
+A benchmark is a function registered with :func:`benchmark` that receives
+a :class:`BenchContext` (telling it whether the run is the quick preset),
+performs its *untimed* setup — building seeded traces, samples, configs —
+and returns a zero-argument ``work()`` callable.  The harness times
+``work()`` best-of-k with warmup against an injectable clock and captures
+peak memory with :mod:`tracemalloc` in a separate untimed pass.
+
+``work()`` returns the benchmark's **work metadata**: a small dict of
+counts and content hashes describing what was computed.  Because inputs
+are seeded, metadata must be byte-identical across repeats and runs —
+the harness verifies this on every run (:class:`BenchError` otherwise) —
+so two ``BENCH_*.json`` files are comparable whenever their work entries
+match: only wall/CPU/memory may differ.
+
+Timing protocol per benchmark: ``warmup`` untimed calls, one untimed
+``tracemalloc`` pass, then ``repeats`` timed calls; the reported
+``wall_s`` is the *minimum* (best-of-k — the standard estimator for the
+noise-free cost), with the full list kept for variance inspection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro import obs
+
+#: Registered benchmarks, in registration order ({name: BenchSpec}).
+_REGISTRY: Dict[str, "BenchSpec"] = {}
+
+#: Guard so the target module is imported exactly once.
+_TARGETS_LOADED = False
+
+
+class BenchError(RuntimeError):
+    """A benchmark violated the harness contract (e.g. unstable metadata)."""
+
+
+@dataclass
+class BenchContext:
+    """What a benchmark setup function is told about the run."""
+
+    quick: bool = False
+
+    def scale(self, full: int, quick: int) -> int:
+        """Pick a problem size: ``full`` normally, ``quick`` under ``--quick``."""
+        return quick if self.quick else full
+
+
+@dataclass
+class BenchSpec:
+    """One registered benchmark: identity, knobs, and its setup function."""
+
+    name: str
+    group: str
+    setup: Callable[[BenchContext], Callable[[], Mapping[str, Any]]]
+    repeats: int = 5
+    quick_repeats: int = 3
+    warmup: int = 1
+    tolerance: float = 5.0  # noise multiplier allowed over the baseline
+
+
+@dataclass
+class BenchResult:
+    """Measured outcome of one benchmark."""
+
+    name: str
+    group: str
+    repeats: int
+    warmup: int
+    wall_s: float  # best-of-k wall time
+    wall_all: List[float] = field(default_factory=list)
+    cpu_s: float = 0.0  # CPU time of the best repeat
+    mem_peak_kb: float = 0.0  # tracemalloc peak of the untimed pass
+    work: Dict[str, Any] = field(default_factory=dict)
+    tolerance: float = 5.0
+
+    @property
+    def wall_mean_s(self) -> float:
+        """Mean wall time over the timed repeats."""
+        return sum(self.wall_all) / len(self.wall_all) if self.wall_all else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (one entry of ``BENCH_<run>.json``)."""
+        return {
+            "name": self.name,
+            "group": self.group,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "wall_s": self.wall_s,
+            "wall_mean_s": self.wall_mean_s,
+            "wall_all": list(self.wall_all),
+            "cpu_s": self.cpu_s,
+            "mem_peak_kb": self.mem_peak_kb,
+            "work": dict(self.work),
+            "tolerance": self.tolerance,
+        }
+
+
+def benchmark(
+    name: str,
+    group: str = "misc",
+    repeats: int = 5,
+    quick_repeats: int = 3,
+    warmup: int = 1,
+    tolerance: float = 5.0,
+) -> Callable:
+    """Register a benchmark setup function under ``name``.
+
+    ::
+
+        @benchmark("model/tree_build", group="models", tolerance=4.0)
+        def bench_tree(ctx):
+            points, responses = _seeded_sample(ctx.scale(256, 64))
+            def work():
+                tree = RegressionTree(points, responses, p_min=1)
+                return {"nodes": len(tree.nodes_breadth_first())}
+            return work
+
+    ``tolerance`` is the per-benchmark noise multiplier the regression
+    gate allows over the committed baseline (micro-benchmarks on shared
+    CI runners are noisy; 5x is a deliberately forgiving default).
+    """
+
+    def decorate(fn: Callable[[BenchContext], Callable[[], Mapping[str, Any]]]):
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} registered twice")
+        _REGISTRY[name] = BenchSpec(
+            name=name, group=group, setup=fn, repeats=repeats,
+            quick_repeats=quick_repeats, warmup=warmup, tolerance=tolerance,
+        )
+        return fn
+
+    return decorate
+
+
+def _load_targets() -> None:
+    """Import the bundled hot-path benchmarks (idempotent, lazy).
+
+    Deferred so importing :mod:`repro.obs.prof` never drags in the
+    simulator/modeling layers (or risks an import cycle through
+    :mod:`repro.obs`).
+    """
+    global _TARGETS_LOADED
+    if not _TARGETS_LOADED:
+        import repro.obs.prof.targets  # noqa: F401  (registers on import)
+
+        _TARGETS_LOADED = True
+
+
+def registered_benchmarks() -> List[BenchSpec]:
+    """Every registered benchmark, in registration order."""
+    _load_targets()
+    return list(_REGISTRY.values())
+
+
+def stable_hash(values: Any) -> str:
+    """12-hex content hash of nested numbers/strings (work-metadata helper).
+
+    Floats are repr()-ed, which is exact: two runs hash equal iff they
+    computed bit-identical values.
+    """
+    digest = hashlib.sha256()
+
+    def feed(value: Any) -> None:
+        if isinstance(value, (list, tuple)):
+            digest.update(b"[")
+            for item in value:
+                feed(item)
+            digest.update(b"]")
+        elif isinstance(value, float):
+            digest.update(repr(value).encode())
+        else:
+            digest.update(str(value).encode())
+        digest.update(b";")
+
+    feed(values)
+    return digest.hexdigest()[:12]
+
+
+def _run_one(
+    spec: BenchSpec,
+    quick: bool,
+    clock: Callable[[], float],
+    measure_memory: bool,
+) -> BenchResult:
+    """Execute one benchmark under the timing protocol."""
+    ctx = BenchContext(quick=quick)
+    with obs.span(f"bench/{spec.name}", group=spec.group, quick=quick) as sp:
+        work = spec.setup(ctx)
+        metas: List[Dict[str, Any]] = []
+        for _ in range(spec.warmup):
+            metas.append(dict(work()))
+        mem_peak_kb = 0.0
+        if measure_memory:
+            tracemalloc.start()
+            try:
+                metas.append(dict(work()))
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            mem_peak_kb = peak / 1024.0
+        repeats = spec.quick_repeats if quick else spec.repeats
+        walls: List[float] = []
+        cpus: List[float] = []
+        for _ in range(repeats):
+            cpu0 = time.process_time()
+            t0 = clock()
+            metas.append(dict(work()))
+            walls.append(clock() - t0)
+            cpus.append(time.process_time() - cpu0)
+        first = metas[0]
+        for meta in metas[1:]:
+            if meta != first:
+                raise BenchError(
+                    f"benchmark {spec.name!r}: work metadata changed between "
+                    f"runs ({first!r} vs {meta!r}); inputs must be seeded"
+                )
+        best = min(range(len(walls)), key=walls.__getitem__)
+        result = BenchResult(
+            name=spec.name,
+            group=spec.group,
+            repeats=repeats,
+            warmup=spec.warmup,
+            wall_s=walls[best],
+            wall_all=walls,
+            cpu_s=cpus[best],
+            mem_peak_kb=mem_peak_kb,
+            work=first,
+            tolerance=spec.tolerance,
+        )
+        sp.set(wall_s=result.wall_s, repeats=repeats)
+        obs.observe(f"bench/{spec.name}/wall_s", result.wall_s)
+    return result
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    clock: Optional[Callable[[], float]] = None,
+    measure_memory: bool = True,
+) -> List[BenchResult]:
+    """Run registered benchmarks and return their results in order.
+
+    Parameters
+    ----------
+    names:
+        Benchmark names to run (``None`` = all registered); unknown names
+        raise :class:`KeyError` listing the valid ones.
+    quick:
+        Use each benchmark's quick problem sizes and repeat counts — the
+        CI smoke preset.
+    clock:
+        Injectable monotonic time source (tests pass a fake clock for
+        deterministic wall times); defaults to ``time.perf_counter``.
+    measure_memory:
+        Capture ``tracemalloc`` peak in an extra untimed pass (disable
+        for the fastest possible smoke run).
+    """
+    _load_targets()
+    if names:
+        unknown = [n for n in names if n not in _REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark(s) {unknown}; "
+                f"registered: {sorted(_REGISTRY)}"
+            )
+        specs = [_REGISTRY[n] for n in names]
+    else:
+        specs = list(_REGISTRY.values())
+    tick = clock if clock is not None else time.perf_counter
+    results = []
+    for spec in specs:
+        results.append(_run_one(spec, quick, tick, measure_memory))
+        obs.inc("bench/benchmarks_run")
+    return results

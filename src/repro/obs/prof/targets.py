@@ -1,0 +1,195 @@
+"""The registered hot-path benchmarks (imported lazily by the harness).
+
+One benchmark per pipeline hot path the profile analyzer keeps showing:
+synthetic-trace generation, end-to-end detailed simulation, the
+cache-hierarchy access loop inside it, regression-tree construction, AICc
+center selection, centered-L2 discrepancy scoring, and the observability
+layer's own cross-process metrics merge.  Every input is seeded, so each
+benchmark's work metadata — counts and content hashes of what was
+computed — is identical run to run; only the wall/CPU/memory measurements
+vary.  That invariant is what makes ``BENCH_*.json`` files comparable
+across commits and lets the regression gate flag *work* drift (a config
+or algorithm change) separately from *speed* drift.
+
+This module imports the simulator and modeling layers, which is why the
+harness loads it lazily instead of at :mod:`repro.obs.prof` import time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof.bench import benchmark, stable_hash
+
+#: Root seed for every benchmark input; part of the work metadata.
+BENCH_SEED = 20060101
+
+
+@benchmark("trace/synthesize", group="workloads", tolerance=5.0)
+def bench_trace_synthesis(ctx):
+    """Synthetic-trace generation for one SPEC profile (statsim hot path)."""
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec2000 import get_profile
+
+    length = ctx.scale(16384, 4096)
+    profile = get_profile("mcf")
+
+    def work():
+        trace = generate_trace(profile, length, seed=BENCH_SEED)
+        return {
+            "benchmark": "mcf",
+            "instructions": int(len(trace.op)),
+            "op_hash": stable_hash(trace.op.tolist()),
+            "addr_hash": stable_hash(trace.addr.tolist()),
+        }
+
+    return work
+
+
+@benchmark("sim/end_to_end", group="simulator", repeats=3, tolerance=5.0)
+def bench_simulator_cpi(ctx):
+    """End-to-end OoO-core simulation: the pipeline's dominant cost."""
+    from repro.simulator.config import ProcessorConfig
+    from repro.simulator.simulator import Simulator
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec2000 import get_profile
+
+    length = ctx.scale(8192, 2048)
+    trace = generate_trace(get_profile("mcf"), length, seed=BENCH_SEED)
+    config = ProcessorConfig()
+
+    def work():
+        result = Simulator(config).run(trace)
+        return {
+            "instructions": int(result.instructions),
+            "cpi_hash": stable_hash(result.cpi),
+        }
+
+    return work
+
+
+@benchmark("sim/cache_hierarchy", group="simulator", tolerance=5.0)
+def bench_cache_hierarchy(ctx):
+    """Raw load-path traversal of the two-level cache hierarchy."""
+    from repro.simulator.config import ProcessorConfig
+    from repro.simulator.hierarchy import MemoryHierarchy
+
+    accesses = ctx.scale(8000, 2000)
+    rng = np.random.default_rng(BENCH_SEED)
+    # A mix of a hot working set and a cold streaming tail, so the loop
+    # exercises hits, misses and fills rather than a single steady state.
+    hot = rng.integers(0, 1 << 16, size=accesses) << 6
+    cold = (rng.integers(0, 1 << 24, size=accesses) << 6) | (1 << 33)
+    pick_cold = rng.random(accesses) < 0.2
+    addrs = np.where(pick_cold, cold, hot)
+
+    def work():
+        hierarchy = MemoryHierarchy(ProcessorConfig())
+        total = 0.0
+        now = 0.0
+        for addr in addrs:
+            total += hierarchy.load(int(addr), now)
+            now += 1.0
+        return {
+            "accesses": int(accesses),
+            "latency_hash": stable_hash(total),
+        }
+
+    return work
+
+
+@benchmark("model/tree_build", group="models", tolerance=5.0)
+def bench_tree_construction(ctx):
+    """Regression-tree construction over a seeded design-space sample."""
+    from repro.models.tree import RegressionTree
+
+    p = ctx.scale(320, 96)
+    rng = np.random.default_rng(BENCH_SEED)
+    points = rng.random((p, 9))
+    responses = np.sin(points @ np.arange(1.0, 10.0)) + 0.1 * rng.random(p)
+
+    def work():
+        tree = RegressionTree(points, responses, p_min=1)
+        nodes = tree.nodes_breadth_first()
+        return {
+            "points": int(p),
+            "nodes": len(nodes),
+            "leaves": sum(1 for n in nodes if n.is_leaf),
+            "depth": int(tree.depth),
+        }
+
+    return work
+
+
+@benchmark("model/aicc_select", group="models", repeats=3, tolerance=5.0)
+def bench_aicc_selection(ctx):
+    """AICc subset selection of RBF centers from one regression tree."""
+    from repro.models.rbf import build_rbf_from_tree
+
+    p = ctx.scale(160, 64)
+    rng = np.random.default_rng(BENCH_SEED)
+    points = rng.random((p, 9))
+    responses = np.cos(points @ np.arange(1.0, 10.0)) + 0.05 * rng.random(p)
+
+    def work():
+        _, info = build_rbf_from_tree(points, responses, p_min=2, alpha=6.0)
+        return {
+            "points": int(p),
+            "candidates": int(info.num_candidates),
+            "centers": int(info.num_centers),
+            "criterion_hash": stable_hash(round(info.criterion_value, 6)),
+        }
+
+    return work
+
+
+@benchmark("sampling/centered_l2", group="sampling", tolerance=5.0)
+def bench_centered_l2(ctx):
+    """Centered-L2 discrepancy of an LHS sample (the sample-search inner loop)."""
+    from repro.core.design_space import paper_design_space
+    from repro.sampling.discrepancy import centered_l2_discrepancy
+    from repro.sampling.lhs import latin_hypercube
+
+    p = ctx.scale(256, 64)
+    rng = np.random.default_rng(BENCH_SEED)
+    space = paper_design_space()
+    sample = latin_hypercube(space, p, rng)
+
+    def work():
+        value = centered_l2_discrepancy(sample)
+        return {
+            "points": int(sample.shape[0]),
+            "dims": int(sample.shape[1]),
+            "value_hash": stable_hash(round(value, 12)),
+        }
+
+    return work
+
+
+@benchmark("obs/metrics_merge", group="obs", tolerance=5.0)
+def bench_metrics_merge(ctx):
+    """Cross-process metrics-snapshot merge (the worker-funnel hot loop)."""
+    snapshots_count = ctx.scale(400, 100)
+    rng = np.random.default_rng(BENCH_SEED)
+    snapshots = []
+    for i in range(snapshots_count):
+        reg = MetricsRegistry()
+        reg.inc("sims", int(i % 7))
+        reg.set_gauge("depth", float(i % 5))
+        for v in rng.random(8):
+            reg.observe("lat", float(v))
+        snapshots.append(reg.snapshot())
+
+    def work():
+        parent = MetricsRegistry()
+        for snap in snapshots:
+            parent.merge(snap)
+        lat = parent.histogram("lat")
+        return {
+            "snapshots": int(snapshots_count),
+            "observations": int(lat.count),
+            "sum_hash": stable_hash(round(lat.total, 9)),
+        }
+
+    return work

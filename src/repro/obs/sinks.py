@@ -31,14 +31,25 @@ TRACE_SCHEMA_VERSION = 1
 
 
 class TraceData:
-    """A trace read back from a JSONL file."""
+    """A trace read back from a JSONL file.
+
+    ``skipped_lines`` counts unparseable trailing lines dropped by a
+    lenient read (a run killed mid-write truncates its final line).
+    """
 
     def __init__(self, header: Dict[str, Any], roots: List[SpanNode],
-                 events: List[Dict[str, Any]], metrics: Dict[str, Any]):
+                 events: List[Dict[str, Any]], metrics: Dict[str, Any],
+                 skipped_lines: int = 0):
         self.header = header
         self.roots = roots
         self.events = events
         self.metrics = metrics
+        self.skipped_lines = skipped_lines
+
+    @property
+    def empty(self) -> bool:
+        """Whether the file contained no trace content at all."""
+        return not (self.header or self.roots or self.events or self.metrics)
 
     def __repr__(self) -> str:
         return (
@@ -92,50 +103,62 @@ def write_trace(collector: Collector, path: Union[str, Path],
     return path
 
 
-def read_trace(path: Union[str, Path]) -> TraceData:
+def read_trace(path: Union[str, Path], strict: bool = True) -> TraceData:
     """Parse a JSONL trace file back into span trees, events and metrics.
 
     Unknown event types are preserved in :attr:`TraceData.events` so newer
     writers stay readable; malformed lines raise ``ValueError`` with the
-    offending line number.
+    offending line number.  With ``strict=False`` an unparseable *final*
+    line — the signature of a run killed mid-write — is skipped and
+    counted in :attr:`TraceData.skipped_lines` instead of raising;
+    corruption anywhere else still raises.
     """
     header: Dict[str, Any] = {}
     metrics: Dict[str, Any] = {}
     events: List[Dict[str, Any]] = []
     nodes: Dict[int, SpanNode] = {}
     roots: List[SpanNode] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
+        raw_lines = fh.readlines()
+    last_content = max(
+        (i for i, raw in enumerate(raw_lines) if raw.strip()), default=-1
+    )
+    for index, raw in enumerate(raw_lines):
+        lineno = index + 1
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if not strict and index == last_content:
+                skipped += 1
                 continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
-            kind = event.get("type")
-            if kind == "trace":
-                header = event
-            elif kind == "span":
-                offset = float(event.get("offset", 0.0))
-                node = SpanNode(
-                    str(event.get("name", "?")),
-                    attrs=dict(event.get("attrs", {})),
-                    start=offset,
-                    end=offset + float(event.get("dur", 0.0)),
-                )
-                nodes[int(event["id"])] = node
-                parent = event.get("parent")
-                if parent is None or int(parent) not in nodes:
-                    roots.append(node)
-                else:
-                    nodes[int(parent)].children.append(node)
-            elif kind == "metrics":
-                metrics = event
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        kind = event.get("type")
+        if kind == "trace":
+            header = event
+        elif kind == "span":
+            offset = float(event.get("offset", 0.0))
+            node = SpanNode(
+                str(event.get("name", "?")),
+                attrs=dict(event.get("attrs", {})),
+                start=offset,
+                end=offset + float(event.get("dur", 0.0)),
+            )
+            nodes[int(event["id"])] = node
+            parent = event.get("parent")
+            if parent is None or int(parent) not in nodes:
+                roots.append(node)
             else:
-                events.append(event)
+                nodes[int(parent)].children.append(node)
+        elif kind == "metrics":
+            metrics = event
+        else:
+            events.append(event)
     return TraceData(header=header, roots=roots, events=events,
-                     metrics=metrics)
+                     metrics=metrics, skipped_lines=skipped)
 
 
 # -- summary rendering -----------------------------------------------------
@@ -207,8 +230,14 @@ def render_summary(trace: TraceData) -> str:
         lines.append("histograms:")
         for name in sorted(histograms):
             h = histograms[name]
-            lines.append(
+            row = (
                 f"  {name:<42} n={h.get('count', 0):<6.6g} "
                 f"sum={h.get('sum', 0.0):.6g} mean={h.get('mean', 0.0):.6g}"
             )
+            if "p50" in h:  # older traces have no percentile columns
+                row += (
+                    f" p50={h['p50']:.6g} p90={h.get('p90', 0.0):.6g} "
+                    f"p99={h.get('p99', 0.0):.6g}"
+                )
+            lines.append(row)
     return "\n".join(lines)

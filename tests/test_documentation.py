@@ -16,7 +16,7 @@ PACKAGES = [
     "repro", "repro.core", "repro.sampling", "repro.models",
     "repro.simulator", "repro.workloads", "repro.analysis",
     "repro.experiments", "repro.statsim", "repro.util",
-    "repro.lint", "repro.lint.rules", "repro.obs",
+    "repro.lint", "repro.lint.rules", "repro.obs", "repro.obs.prof",
 ]
 
 

@@ -110,7 +110,58 @@ class TestMetrics:
             h.observe(v)
         assert h.as_dict() == {
             "count": 3, "sum": 15.0, "min": 2.0, "max": 9.0, "mean": 5.0,
+            "p50": 4.0, "p90": 9.0, "p99": 9.0,
+            "samples": [2.0, 4.0, 9.0],
         }
+
+    def test_histogram_percentiles_exact_under_cap(self):
+        h = obs.Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+
+    def test_histogram_percentiles_survive_compaction(self):
+        h = obs.Histogram()
+        n = obs.Histogram.SAMPLE_CAP * 3
+        for v in range(n):
+            h.observe(float(v))
+        assert len(h.samples) <= obs.Histogram.SAMPLE_CAP
+        assert h.count == n  # exact fields untouched by compaction
+        assert h.min == 0.0 and h.max == float(n - 1)
+        # Rank-preserving approximation: within ~1% of the true quantile.
+        assert h.percentile(50) == pytest.approx(n / 2, rel=0.02)
+        assert h.percentile(99) == pytest.approx(0.99 * n, rel=0.02)
+
+    def test_histogram_compaction_is_deterministic(self):
+        def build():
+            h = obs.Histogram()
+            rng = np.random.default_rng(3)
+            for v in rng.random(obs.Histogram.SAMPLE_CAP * 2 + 17):
+                h.observe(float(v))
+            return h
+
+        assert build().samples == build().samples
+
+    def test_merge_from_old_snapshot_without_samples(self):
+        h = obs.Histogram()
+        h.observe(1.0)
+        h.merge({"count": 2, "sum": 7.0, "min": 3.0, "max": 4.0})
+        assert h.count == 3 and h.total == 8.0
+        assert h.percentile(50) == 1.0  # only local samples contribute
+
+    def test_percentiles_merge_across_registries(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        for v in range(1, 51):
+            a.observe("lat", float(v))
+        for v in range(51, 101):
+            b.observe("lat", float(v))
+        a.merge(b.snapshot())
+        merged = a.histogram("lat")
+        assert merged.percentile(50) == 50.0
+        assert merged.percentile(90) == 90.0
 
     def test_merge_semantics(self):
         a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
@@ -228,6 +279,19 @@ class TestSinks:
         assert "build" in text and "  fit" in text
         assert "FAILURE in fit" in text
         assert "sims" in text and "lat" in text
+        # Percentile columns on the duration histograms.
+        assert "p50=1.5" in text and "p90=1.5" in text and "p99=1.5" in text
+
+    def test_summary_renders_percentiles_without_samples(self):
+        # Traces from older writers carry no p50/p99 keys; the renderer
+        # falls back to the plain n/sum/mean columns.
+        trace = obs.TraceData(
+            header={}, roots=[], events=[],
+            metrics={"histograms": {"lat": {
+                "count": 2, "sum": 3.0, "mean": 1.5}}},
+        )
+        text = obs.render_summary(trace)
+        assert "lat" in text and "p50" not in text
 
 
 class TestRunnerIntegration:
