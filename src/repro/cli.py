@@ -28,6 +28,19 @@ Commands
 ``trace profile``
     Rank a trace's call stacks by *self time* — the profiling view — or
     export flamegraph-compatible folded stacks (``--folded``).
+``trace diff``
+    Align two recorded traces by call-stack path and attribute the
+    wall-clock delta to per-span self-time and call-count changes —
+    the ranked "what got slower" table (``--json`` for the machine
+    form; see :mod:`repro.obs.history.diff`).
+``history``
+    Query the run-history ledger (``results/history/runs.jsonl``; see
+    :mod:`repro.obs.history`): ``list`` the recorded runs with optional
+    command/benchmark/git-SHA/since filters, ``show`` one record as
+    JSON, ``trend`` a numeric field as a sparkline + table, and
+    ``check`` the latest run against comparable history with a robust
+    MAD-based outlier test (non-zero exit on anomaly — the cross-run
+    drift gate).
 ``bench``
     Run the registered hot-path benchmarks (see
     :mod:`repro.obs.prof.targets`), print the results table, and write a
@@ -44,6 +57,12 @@ and metrics to a JSONL file — by default
 ``results/trace-<command>.jsonl``.  ``build`` and ``simulate`` always
 write a ``manifest.json`` next to their results recording seed,
 design-space hash, git SHA, package version and metric totals.
+
+Every ``simulate``/``build``/``bench``/``report`` run (and every exhibit
+rendered by the benchmark suite) also appends one record to the
+run-history ledger; ``repro report --html`` renders the ledger as a
+single self-contained HTML file with charts, the latest span tree and
+the gate/drift status.
 """
 
 from __future__ import annotations
@@ -51,7 +70,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -104,20 +122,42 @@ def _override_grid(overrides: dict) -> List[dict]:
     return combos
 
 
-def _write_run_manifest(command: str, **kwargs) -> None:
-    """Write ``results/manifest.json`` for one CLI run and say where."""
+def _record_run(manifest, args: Optional[argparse.Namespace] = None,
+                gate=None, extra=None) -> None:
+    """Append one run to the run-history ledger and say where."""
+    from repro.obs import history
+
+    record = history.record_from_manifest(
+        manifest,
+        trace_path=getattr(args, "trace_dest", None) if args else None,
+        gate=gate,
+        extra=extra,
+    )
+    path = history.append_run(record)
+    print(f"[run recorded in {path}]")
+
+
+def _write_run_manifest(command: str,
+                        args: Optional[argparse.Namespace] = None,
+                        **kwargs) -> None:
+    """Write ``results/manifest.json`` for one CLI run and say where.
+
+    Also appends the run to the history ledger — the manifest is the
+    per-run snapshot, the ledger the longitudinal record.
+    """
     from repro.experiments.report import results_dir
 
     manifest = obs.build_manifest(command, **kwargs)
     path = obs.write_manifest(results_dir() / "manifest.json", manifest)
     print(f"[manifest written to {path}]")
+    _record_run(manifest, args)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """``repro simulate``: detailed simulation at one or a grid of configs."""
     overrides = _parse_overrides(args.overrides)
     grid = _override_grid(overrides)
-    start = time.perf_counter()
+    start = obs.monotonic()
     if len(grid) == 1:
         try:
             config = ProcessorConfig(**grid[0])
@@ -129,9 +169,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(format_table(["metric", "value"], rows,
                            title=f"{spec_label(args.benchmark)} on {args.trace_length} instructions"))
         _write_run_manifest(
-            "simulate",
+            "simulate", args,
             overrides=grid[0],
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=obs.monotonic() - start,
             extra={"benchmark": args.benchmark,
                    "trace_length": args.trace_length,
                    "configurations": 1,
@@ -161,10 +201,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                f"instructions, {len(grid)} configurations"),
     ))
     _write_run_manifest(
-        "simulate",
+        "simulate", args,
         overrides={k: list(v) if isinstance(v, tuple) else v
                    for k, v in overrides.items()},
-        wall_time_s=time.perf_counter() - start,
+        wall_time_s=obs.monotonic() - start,
+        jobs=args.jobs,
         extra={"benchmark": args.benchmark,
                "trace_length": args.trace_length,
                "configurations": len(grid)},
@@ -196,13 +237,13 @@ def cmd_build(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
-    start = time.perf_counter()
+    start = obs.monotonic()
     builder = BuildRBFModel(space, runner.cpi, seed=args.seed)
     tspace = paper_test_space()
     test_phys = tspace.decode(random_design(tspace, args.test_points, seed=args.seed + 1))
     test_cpi = runner.cpi(test_phys)
     result = builder.build(args.sample_size, test_phys, test_cpi)
-    wall = time.perf_counter() - start
+    wall = obs.monotonic() - start
     stats = runner.stats()
     print(f"benchmark      : {spec_label(benchmark)}")
     print(f"sample size    : {args.sample_size}")
@@ -214,15 +255,15 @@ def cmd_build(args: argparse.Namespace) -> int:
     print(f"sim wall time  : {stats['wall_time_s']:.2f}s")
     assert result.errors is not None
     _write_run_manifest(
-        "build",
+        "build", args,
         seed=args.seed,
         design_space=space,
         overrides={"sample_size": args.sample_size,
                    "test_points": args.test_points,
-                   "trace_length": args.trace_length,
-                   "jobs": stats["jobs"]},
+                   "trace_length": args.trace_length},
         metrics=runner.metrics.snapshot(),
         wall_time_s=wall,
+        jobs=stats["jobs"],
         extra={"benchmark": benchmark,
                "p_min": result.info.p_min,
                "alpha": result.info.alpha,
@@ -279,6 +320,140 @@ def cmd_trace_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    """``repro trace diff``: attribute the wall delta between two traces."""
+    import json
+
+    from repro.obs import history
+
+    old = _load_trace_or_exit(args.old)
+    new = _load_trace_or_exit(args.new)
+    diff = history.diff_traces(old, new)
+    if args.json:
+        print(json.dumps(history.diff_as_dict(diff), indent=2,
+                         sort_keys=True))
+    else:
+        print(history.render_diff(diff, top=args.top))
+    return 0
+
+
+def _load_runs_or_exit(path: Optional[str] = None):
+    """Read the run-history ledger for a CLI command, or exit 1 cleanly."""
+    from repro.obs import history
+
+    ledger = Path(path) if path else history.default_history_path()
+    try:
+        runs, skipped = history.load_runs(ledger)
+    except OSError:
+        raise SystemExit(
+            f"no run history: {ledger} does not exist "
+            f"(run `repro build`, `simulate` or `bench` first)")
+    if skipped:
+        print(f"[skipped {skipped} unparseable ledger line(s)]",
+              file=sys.stderr)
+    if not runs:
+        raise SystemExit(f"empty run history: {ledger} contains no records")
+    return runs
+
+
+def _matches_filters(record: dict, args: argparse.Namespace) -> bool:
+    """The ``history list``/``trend`` record filters (see ``iter_runs``)."""
+    if args.filter_command and record.get("command") != args.filter_command:
+        return False
+    if args.benchmark and record.get("benchmark") != args.benchmark:
+        return False
+    git_sha = getattr(args, "git_sha", None)
+    if git_sha and not (record.get("git_sha") or "").startswith(git_sha):
+        return False
+    since = getattr(args, "since", None)
+    if since and (record.get("started") or "") < since:
+        return False
+    return True
+
+
+def _cell(value, fmt: str) -> str:
+    """Format an optional numeric ledger field for a table cell."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return "-"
+    return fmt.format(value)
+
+
+def cmd_history_list(args: argparse.Namespace) -> int:
+    """``repro history list``: the recorded runs, optionally filtered."""
+    runs = _load_runs_or_exit(args.path)
+    records = [(idx, r) for idx, r in enumerate(runs)
+               if _matches_filters(r, args)]
+    if not records:
+        print("no runs match the given filters")
+        return 0
+    rows = [
+        (str(idx),
+         str(r.get("started") or "-")[:19],
+         str(r.get("command") or "?"),
+         str(r.get("benchmark") or "-"),
+         _cell(r.get("sample_size"), "{:g}"),
+         _cell(r.get("mean_error_pct"), "{:.3g}"),
+         _cell(r.get("wall_time_s"), "{:.2f}"),
+         str(r.get("git_sha") or "-")[:8])
+        for idx, r in records
+    ]
+    print(format_table(
+        ["#", "started", "command", "benchmark", "sample", "err%",
+         "wall_s", "git"],
+        rows, title=f"Run history ({len(records)} of {len(runs)} run(s))"))
+    return 0
+
+
+def cmd_history_show(args: argparse.Namespace) -> int:
+    """``repro history show``: one ledger record as JSON (default: latest)."""
+    import json
+
+    runs = _load_runs_or_exit(args.path)
+    try:
+        record = runs[args.index]
+    except IndexError:
+        raise SystemExit(
+            f"no run at index {args.index} "
+            f"(ledger has {len(runs)} record(s))")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_history_trend(args: argparse.Namespace) -> int:
+    """``repro history trend``: sparkline + table of one numeric field."""
+    from repro.obs import history
+
+    runs = [r for r in _load_runs_or_exit(args.path)
+            if _matches_filters(r, args)]
+    points = history.series(runs, args.field, x_field=args.x)
+    if len(points) < 2:
+        raise SystemExit(
+            f"not enough data: trend over {args.field!r} needs at least 2 "
+            f"runs carrying it, found {len(points)}")
+    print(history.render_trend(points, args.field, x_field=args.x))
+    return 0
+
+
+def cmd_history_check(args: argparse.Namespace) -> int:
+    """``repro history check``: MAD drift gate on the latest run."""
+    from repro.obs import history
+
+    runs = _load_runs_or_exit(args.path)
+    anomalies = history.check_latest(
+        runs, threshold=args.threshold, min_history=args.min_history)
+    if anomalies:
+        for anomaly in anomalies:
+            print(f"ANOMALY: {anomaly}")
+        print(f"[latest run regressed vs comparable history "
+              f"({len(anomalies)} field(s))]")
+        return 1
+    latest = runs[-1]
+    prior = history.comparable_history(runs, latest)
+    print(f"[history check passed: latest {latest.get('command')!r} run "
+          f"within norms of {len(prior)} comparable run(s)]")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: run hot-path benchmarks, persist and gate results."""
     from repro.experiments.report import results_dir
@@ -290,6 +465,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(format_table(["benchmark", "group", "repeats", "tolerance"],
                            rows, title="Registered benchmarks"))
         return 0
+    start = obs.monotonic()
     try:
         results = prof.run_benchmarks(
             names=args.names or None, quick=args.quick,
@@ -304,6 +480,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"[bench results written to {path}]")
     baseline_path = (Path(args.baseline) if args.baseline
                      else prof.DEFAULT_BASELINE_PATH)
+
+    def record(gate) -> None:
+        manifest = obs.build_manifest(
+            "bench", wall_time_s=obs.monotonic() - start)
+        _record_run(manifest, args, gate=gate, extra={
+            "bench_wall_s": round(sum(r.wall_s for r in results), 6),
+            "artifact": str(path),
+        })
+
     if args.update_baseline:
         previous = None
         if baseline_path.exists():
@@ -315,6 +500,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             prof.make_baseline(results, preset=preset, previous=previous),
             baseline_path)
         print(f"[baseline updated at {written}]")
+        record(prof.gate_summary([], baseline_path, checked=False))
         return 0
     if args.check:
         try:
@@ -324,6 +510,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc))
         violations = prof.check_results(results, baseline, preset=preset)
+        record(prof.gate_summary(violations, baseline_path))
         if violations:
             for violation in violations:
                 print(f"REGRESSION: {violation}")
@@ -331,6 +518,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"[perf gate passed: {len(results)} benchmark(s) within "
               f"tolerance of {baseline_path}]")
+        return 0
+    record(prof.gate_summary([], checked=False))
     return 0
 
 
@@ -345,10 +534,41 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_report(_args: argparse.Namespace) -> int:
+def _latest_trace(runs):
+    """The newest ledger record's trace, when one was recorded and loads."""
+    for record in reversed(runs):
+        trace_path = record.get("trace_path")
+        if not trace_path or not Path(trace_path).exists():
+            continue
+        try:
+            trace = obs.read_trace(trace_path, strict=False)
+        except (OSError, ValueError):
+            continue
+        if not trace.empty:
+            return trace
+    return None
+
+
+def _report_html(args: argparse.Namespace) -> int:
+    """``repro report --html``: render the ledger as one HTML file."""
+    from repro.experiments.report import results_dir
+    from repro.obs import history
+
+    runs = _load_runs_or_exit()
+    html = history.render_html(runs, trace=_latest_trace(runs))
+    dest = Path(args.html) if args.html else results_dir() / "report.html"
+    path = history.write_html(dest, html)
+    print(f"[report written to {path}]")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
     """``repro report``: aggregate rendered exhibits into one summary."""
     from repro.experiments.summary import collect, write_summary
 
+    if args.html is not None:
+        return _report_html(args)
+    start = obs.monotonic()
     sections, missing = collect()
     if not sections:
         print("no results found; run `pytest benchmarks/ --benchmark-only` first")
@@ -358,6 +578,9 @@ def cmd_report(_args: argparse.Namespace) -> int:
     print(f"\n[summary written to {path}]")
     if missing:
         print(f"[missing exhibits: {', '.join(missing)}]")
+    manifest = obs.build_manifest("report",
+                                  wall_time_s=obs.monotonic() - start)
+    _record_run(manifest, args, extra={"artifact": str(path)})
     return 0
 
 
@@ -448,6 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
         "report", parents=[traced],
         help="aggregate regenerated exhibits into one summary",
     )
+    p_report.add_argument(
+        "--html", nargs="?", const="", default=None, metavar="PATH",
+        help="render the run-history ledger as one self-contained HTML "
+             "file instead (default path: results/report.html)",
+    )
     p_report.set_defaults(func=cmd_report)
 
     p_trace = sub.add_parser("trace", help="inspect recorded trace files")
@@ -471,6 +699,72 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit flamegraph-compatible folded stacks "
                               "(pipe to flamegraph.pl)")
     p_tprof.set_defaults(func=cmd_trace_profile)
+    p_tdiff = trace_sub.add_parser(
+        "diff", help="attribute the wall-clock delta between two traces "
+                     "to per-span self-time changes"
+    )
+    p_tdiff.add_argument("old", help="the baseline trace (from --trace)")
+    p_tdiff.add_argument("new", help="the trace under scrutiny")
+    p_tdiff.add_argument("--top", type=int, default=20,
+                         help="rows in the attribution table (default 20)")
+    p_tdiff.add_argument("--json", action="store_true",
+                         help="emit the machine-readable diff (schema v1) "
+                              "instead of the table")
+    p_tdiff.set_defaults(func=cmd_trace_diff)
+
+    from repro.obs.history.trend import DEFAULT_THRESHOLD, MIN_HISTORY
+
+    p_hist = sub.add_parser(
+        "history", help="query the run-history ledger"
+    )
+    hist_common = argparse.ArgumentParser(add_help=False)
+    hist_common.add_argument(
+        "--path", default=None, metavar="LEDGER",
+        help="ledger file (default: results/history/runs.jsonl)")
+    hist_filters = argparse.ArgumentParser(add_help=False)
+    hist_filters.add_argument("--command", dest="filter_command",
+                              default=None,
+                              help="only runs of this command")
+    hist_filters.add_argument("--benchmark", default=None,
+                              help="only runs of this benchmark")
+    hist_sub = p_hist.add_subparsers(dest="history_command", required=True)
+    p_hlist = hist_sub.add_parser(
+        "list", parents=[hist_common, hist_filters],
+        help="list recorded runs")
+    p_hlist.add_argument("--git-sha", default=None,
+                         help="only runs whose git SHA starts with this")
+    p_hlist.add_argument("--since", default=None, metavar="ISO8601",
+                         help="only runs started at or after this UTC "
+                              "timestamp")
+    p_hlist.set_defaults(func=cmd_history_list)
+    p_hshow = hist_sub.add_parser(
+        "show", parents=[hist_common],
+        help="print one ledger record as JSON")
+    p_hshow.add_argument("index", nargs="?", type=int, default=-1,
+                         help="ledger index (default: -1, the latest)")
+    p_hshow.set_defaults(func=cmd_history_show)
+    p_htrend = hist_sub.add_parser(
+        "trend", parents=[hist_common, hist_filters],
+        help="sparkline + table of one numeric field across runs")
+    p_htrend.add_argument("field",
+                          help="record field to trend, e.g. mean_error_pct "
+                               "or bench_wall_s")
+    p_htrend.add_argument("--x", default=None, metavar="FIELD",
+                          help="x-axis field (default: ledger index), "
+                               "e.g. sample_size")
+    p_htrend.set_defaults(func=cmd_history_trend)
+    p_hcheck = hist_sub.add_parser(
+        "check", parents=[hist_common],
+        help="flag the latest run if it regressed vs comparable history "
+             "(MAD outlier test; exits 1 on anomaly)")
+    p_hcheck.add_argument("--threshold", type=float,
+                          default=DEFAULT_THRESHOLD,
+                          help="modified z-score cutoff "
+                               f"(default {DEFAULT_THRESHOLD:g})")
+    p_hcheck.add_argument("--min-history", type=int, default=MIN_HISTORY,
+                          help="comparable prior runs required before the "
+                               f"check can fire (default {MIN_HISTORY})")
+    p_hcheck.set_defaults(func=cmd_history_check)
 
     p_perf = sub.add_parser(
         "bench", parents=[traced],
@@ -512,7 +806,7 @@ def _trace_destination(args: argparse.Namespace) -> Optional[Path]:
     ``--trace`` wins over the environment; ``REPRO_TRACE`` set to ``1`` /
     ``true`` / empty selects the default path, anything else is the path.
     """
-    if args.command in ("trace", "lint"):
+    if args.command in ("trace", "lint", "history"):
         return None
     spec = getattr(args, "trace", None)
     if spec is None:
@@ -539,6 +833,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     dest = _trace_destination(args)
+    args.trace_dest = dest  # ledger records point at the run's trace
     if dest is None:
         return args.func(args)
     with obs.collecting() as collector:

@@ -59,6 +59,21 @@ def stage(name: str, **attrs) -> Iterator[object]:
             raise
 
 
+def runner_cost_snapshot() -> Dict[str, object]:
+    """Merged simulation-cost metrics across the shared memoised runners.
+
+    ``{"benchmarks": [...], "metrics": <snapshot>}`` — the cumulative
+    cost behind everything computed so far in this process, in the same
+    snapshot shape :func:`repro.obs.build_manifest` expects.  This is the
+    public seam exhibit manifests and the run-history ledger read instead
+    of poking at the memo tables.
+    """
+    metrics = obs.MetricsRegistry()
+    for bench_runner in _runners.values():
+        metrics.merge(bench_runner.metrics.snapshot())
+    return {"benchmarks": sorted(_runners), "metrics": metrics.snapshot()}
+
+
 def training_space() -> DesignSpace:
     """The paper's Table 1 training design space (fresh instance)."""
     return paper_design_space()

@@ -29,9 +29,11 @@ def run_exhibit(exp_id: str, **kwargs):
     The call is wrapped in an ``obs`` span named after the exhibit; when
     the harness raises mid-run, the failure is recorded as a structured
     event (and the exception annotated with the failing stage) so the
-    report says *where* it died, not just that it died.
+    report says *where* it died, not just that it died.  A completed run
+    is appended to the run-history ledger with its wall time.
     """
     from repro import obs
+    from repro.obs import history
 
     if exp_id not in EXPERIMENTS:
         raise KeyError(
@@ -39,12 +41,18 @@ def run_exhibit(exp_id: str, **kwargs):
         )
     exp = EXPERIMENTS[exp_id]
     module = importlib.import_module(exp.module)
+    start = obs.monotonic()
     with obs.span("exhibit", id=exp_id, exhibit=exp.exhibit):
         try:
-            return module.run(**kwargs)
+            result = module.run(**kwargs)
         except Exception as exc:
             obs.record_failure(f"exhibit/{exp_id}", exc, exhibit=exp.exhibit)
             raise
+    manifest = obs.build_manifest(
+        f"exhibit:{exp_id}", wall_time_s=obs.monotonic() - start)
+    history.append_run(history.record_from_manifest(
+        manifest, extra={"exhibit": exp.exhibit}))
+    return result
 
 
 EXPERIMENTS: Dict[str, Experiment] = {

@@ -27,15 +27,13 @@ def _exhibit_manifest(name: str) -> dict:
     """Provenance manifest for one exhibit's emitted artifact."""
     from repro.experiments import common
 
-    metrics = obs.MetricsRegistry()
-    for bench_runner in common._runners.values():
-        metrics.merge(bench_runner.metrics.snapshot())
+    cost = common.runner_cost_snapshot()
     return obs.build_manifest(
         command=f"exhibit:{name}",
         seed=common.EXPERIMENT_SEED,
-        metrics=metrics.snapshot(),
+        metrics=cost["metrics"],
         extra={
-            "benchmarks": sorted(common._runners),
+            "benchmarks": cost["benchmarks"],
             "test_seed": common.TEST_SEED,
         },
     )
@@ -45,13 +43,20 @@ def emit(name: str, text: str) -> Path:
     """Print ``text`` and persist it as ``results/<name>.txt``.
 
     Also writes ``results/<name>.manifest.json`` capturing the run's
-    provenance and the cumulative simulation cost behind the exhibit.
+    provenance and the cumulative simulation cost behind the exhibit,
+    and appends the run to the history ledger so rendered exhibits show
+    up in ``repro history`` and the HTML report.
     """
+    from repro.obs import history
+
     obs.echo()
     obs.echo(text)
     out = results_dir()
     out.mkdir(parents=True, exist_ok=True)
     path = out / f"{name}.txt"
     path.write_text(text + "\n")
-    obs.write_manifest(out / f"{name}.manifest.json", _exhibit_manifest(name))
+    manifest = _exhibit_manifest(name)
+    obs.write_manifest(out / f"{name}.manifest.json", manifest)
+    history.append_run(history.record_from_manifest(
+        manifest, extra={"artifact": str(path)}))
     return path

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from pathlib import Path
@@ -369,7 +368,7 @@ class SimulationRunner:
         built with ``jobs > 1`` (or ``$REPRO_JOBS`` says so) — and merged
         into the memo cache, which is flushed once at the end.
         """
-        start = time.perf_counter()
+        start = obs.monotonic()
         points = np.atleast_2d(np.asarray(points, dtype=float))
         with obs.span("runner/metric", benchmark=self.benchmark, metric=name,
                       points=len(points)) as sp:
@@ -400,7 +399,7 @@ class SimulationRunner:
                 self._count("cache_hits", hits)
             self._flush()
             sp.set(uncached=len(pending), cache_hits=hits)
-        elapsed = time.perf_counter() - start
+        elapsed = obs.monotonic() - start
         self.metrics.inc("wall_time_s", elapsed)
         self.metrics.observe("metric_wall_s", elapsed)
         obs.observe("runner/metric_wall_s", elapsed)

@@ -1,4 +1,5 @@
-"""Observability rule: OBS001 (no bare ``print`` in library code).
+"""Observability rules: OBS001 (no bare ``print``) and OBS002 (no raw
+wall clocks) in library code.
 
 Library modules that ``print`` bypass the observability layer: the output
 cannot be captured into traces, silenced in workers, or redirected by the
@@ -6,9 +7,19 @@ harness, and it interleaves unpredictably with progress rendering under
 parallel runs.  Library code should either return data and let the caller
 render it, or go through :func:`repro.obs.echo` — the one console seam.
 
+The same argument applies to clocks.  A library module that reads
+``time.perf_counter()`` directly produces timings that deterministic
+tests cannot fake and traces cannot align: :func:`repro.obs.monotonic`
+is the one clock seam — it reads the active trace collector's injectable
+clock when tracing and falls back to ``time.perf_counter()`` otherwise,
+so a test handing ``Collector(clock=FakeClock())`` controls *every*
+duration in the run, not just the spans.
+
 The CLI front-ends (any ``cli.py``), the lint text reporter
 (``lint/reporters.py``) and the observability package itself
-(``repro/obs/``) are the designated console owners and are exempt.
+(``repro/obs/``) are the designated console owners and are exempt from
+OBS001; only ``repro/obs/`` — where the seam is implemented — may touch
+the raw clock under OBS002.
 """
 
 from __future__ import annotations
@@ -17,7 +28,13 @@ import ast
 from pathlib import PurePath
 from typing import List
 
-from repro.lint.core import FileContext, Finding, VisitorRule, register
+from repro.lint.core import (
+    FileContext,
+    Finding,
+    VisitorRule,
+    attribute_chain,
+    register,
+)
 
 
 def _exempt(path: str) -> bool:
@@ -57,4 +74,63 @@ class NoBarePrintRule(VisitorRule):
                 "bare print() in library code; return the text to the "
                 "caller or use repro.obs.echo",
             )
+        self.generic_visit(node)
+
+
+#: The ``time`` module readings OBS002 forbids outside ``repro/obs``.
+_RAW_CLOCKS = ("time", "monotonic", "perf_counter")
+
+
+def _clock_exempt(path: str) -> bool:
+    """Whether ``path`` may read the raw clock: not library code, or obs."""
+    parts = PurePath(path).parts
+    if "repro" not in parts:
+        return True  # benchmarks/examples/tests time things directly
+    return "obs" in parts  # the seam's own implementation
+
+
+@register
+class NoRawClockRule(VisitorRule):
+    """Forbid direct ``time`` clock reads in ``repro`` library modules."""
+
+    id = "OBS002"
+    title = "raw wall-clock read in library code bypasses the clock seam"
+    rationale = (
+        "time.time()/time.monotonic()/time.perf_counter() in repro/ "
+        "library modules produce durations that deterministic tests "
+        "cannot fake and traces cannot align; read repro.obs.monotonic() "
+        "instead — it follows the active collector's injectable clock. "
+        "Only repro/obs, where the seam lives, touches the raw clock."
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        if _clock_exempt(ctx.path):
+            return []
+        return super().check_file(ctx)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = attribute_chain(node.func)
+        if chain and len(chain) == 2 and chain[0] == "time" \
+                and chain[1] in _RAW_CLOCKS:
+            self.report(
+                node,
+                f"time.{chain[1]}() in library code; use "
+                "repro.obs.monotonic() so tests and traces control the "
+                "clock",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time" and node.level == 0:
+            clocks = sorted(
+                alias.name for alias in node.names
+                if alias.name in _RAW_CLOCKS
+            )
+            if clocks:
+                self.report(
+                    node,
+                    f"importing {', '.join(clocks)} from time in library "
+                    "code; use repro.obs.monotonic() so tests and traces "
+                    "control the clock",
+                )
         self.generic_visit(node)

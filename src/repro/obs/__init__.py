@@ -24,6 +24,7 @@ CLI's ``--trace`` / ``REPRO_TRACE``.
 from repro.obs.console import echo
 from repro.obs.manifest import (
     build_manifest,
+    cache_hit_rate,
     design_space_hash,
     git_sha,
     package_version,
@@ -42,6 +43,7 @@ from repro.obs.tracing import (
     deactivate,
     enabled,
     inc,
+    monotonic,
     observe,
     recent_failures,
     record_failure,
@@ -59,6 +61,7 @@ __all__ = [
     "TraceData",
     "activate",
     "build_manifest",
+    "cache_hit_rate",
     "collecting",
     "current",
     "deactivate",
@@ -67,6 +70,7 @@ __all__ = [
     "enabled",
     "git_sha",
     "inc",
+    "monotonic",
     "observe",
     "package_version",
     "read_manifest",

@@ -1,0 +1,200 @@
+"""The run-history ledger: one JSONL record per pipeline run.
+
+Manifests (:mod:`repro.obs.manifest`) answer "what produced *this*
+result?"; the ledger answers the longitudinal question — "how has the
+pipeline behaved across *every* run on this machine?".  Each
+``repro build`` / ``simulate`` / ``bench`` / ``report`` invocation and
+every rendered exhibit appends exactly one schema-versioned record to
+``results/history/runs.jsonl``: the manifest's provenance and cost
+fields, the run's headline accuracy numbers, metric totals, the perf-gate
+outcome when one ran, and the path of the recorded trace (when tracing).
+
+Appends use the same discipline as the simulation disk cache: an advisory
+``flock`` on a sidecar lock file around a read → rewrite → atomic
+``os.replace`` cycle, so concurrent runners never clobber or interleave
+each other's records (and a torn trailing line from a killed writer is
+healed on the next append).  Reads are lenient by default — an
+unparseable line is counted and skipped, never fatal — because a ledger
+that refuses to load after one bad shutdown defeats its purpose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+#: Ledger record schema version.
+HISTORY_SCHEMA_VERSION = 1
+
+_RESULTS_ENV = "REPRO_RESULTS_DIR"
+
+#: Manifest fields copied verbatim into a history record when non-``None``.
+MANIFEST_FIELDS = (
+    "command", "started", "git_sha", "version", "python", "hostname", "pid",
+    "seed", "design_space_hash", "wall_time_s", "cpu_time_s", "jobs",
+    "cache_hit_rate",
+)
+
+#: Command-specific headline fields lifted from manifest extras when present.
+HEADLINE_FIELDS = (
+    "benchmark", "sample_size", "trace_length", "configurations", "cpi",
+    "p_min", "alpha", "num_centers", "mean_error_pct", "max_error_pct",
+    "bench_wall_s", "artifact",
+)
+
+#: Metric counters summarised into flat record fields.
+COUNTER_FIELDS = ("simulations_run", "cache_hits")
+
+
+def default_history_path() -> Path:
+    """``results/history/runs.jsonl``, honouring ``$REPRO_RESULTS_DIR``.
+
+    Mirrors :func:`repro.experiments.report.results_dir` without importing
+    it — the obs layer stays free of the experiment stack.
+    """
+    return (Path(os.environ.get(_RESULTS_ENV, "results"))
+            / "history" / "runs.jsonl")
+
+
+@contextmanager
+def _file_lock(path: Path) -> Iterator[None]:
+    """Advisory exclusive lock on ``path`` (best-effort without fcntl).
+
+    The same discipline as the simulation cache's flush lock: on platforms
+    without ``fcntl`` the atomic replace alone still guarantees the file is
+    never corrupted, merely that a concurrent append may need retrying.
+    """
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX fallback
+        yield
+        return
+    with open(path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def record_from_manifest(
+    manifest: Mapping[str, Any],
+    trace_path: Optional[Union[str, Path]] = None,
+    gate: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one ledger record from a run manifest.
+
+    Copies the provenance/cost fields (:data:`MANIFEST_FIELDS`) and the
+    headline accuracy/size numbers (:data:`HEADLINE_FIELDS`) that happen to
+    be present, flattens the ``simulations_run``/``cache_hits`` counters
+    out of the metrics snapshot, and lifts ``sample_size``-style knobs out
+    of the manifest's ``overrides``.  ``trace_path`` records where the
+    run's span trace landed; ``gate`` carries a perf-gate summary (see
+    :func:`repro.obs.prof.gate.gate_summary`); ``extra`` merges last.
+    """
+    record: Dict[str, Any] = {"schema": HISTORY_SCHEMA_VERSION}
+    overrides = manifest.get("overrides") or {}
+    for source in (manifest, overrides):
+        for key in MANIFEST_FIELDS + HEADLINE_FIELDS:
+            if key in record:
+                continue
+            value = source.get(key)
+            if value is not None:
+                record[key] = value
+    counters = (manifest.get("metrics") or {}).get("counters") or {}
+    for name in COUNTER_FIELDS:
+        if name in counters:
+            record[name] = counters[name]
+    if trace_path is not None:
+        record["trace_path"] = str(trace_path)
+    if gate is not None:
+        record["gate"] = dict(gate)
+    if extra:
+        record.update(extra)
+    return record
+
+
+def append_run(record: Mapping[str, Any],
+               path: Optional[Union[str, Path]] = None) -> Path:
+    """Append one record to the ledger; returns the ledger path.
+
+    Safe under concurrent writers: the whole read → append → atomic-replace
+    cycle runs under an advisory lock on a sidecar ``.lock`` file, so two
+    processes appending simultaneously both land in the file.  A torn
+    trailing line left by a previously killed writer is completed with a
+    newline rather than corrupting the next record.
+    """
+    path = Path(path) if path is not None else default_history_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(dict(record), sort_keys=True)
+    lock_path = path.with_name(path.name + ".lock")
+    with _file_lock(lock_path):
+        existing = path.read_text(encoding="utf-8") if path.exists() else ""
+        if existing and not existing.endswith("\n"):
+            existing += "\n"
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(existing + line + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+    return path
+
+
+def load_runs(
+    path: Optional[Union[str, Path]] = None,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """``(records, skipped_lines)`` from the ledger, in append order.
+
+    Raises :class:`FileNotFoundError` when the ledger does not exist (the
+    CLI turns that into a one-line error); unparseable or non-object lines
+    are skipped and counted, matching the lenient trace-read convention.
+    """
+    path = Path(path) if path is not None else default_history_path()
+    runs: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                runs.append(record)
+            else:
+                skipped += 1
+    return runs, skipped
+
+
+def iter_runs(
+    path: Optional[Union[str, Path]] = None,
+    command: Optional[str] = None,
+    benchmark: Optional[str] = None,
+    git_sha: Optional[str] = None,
+    since: Optional[str] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Iterate ledger records, optionally filtered.
+
+    ``command`` and ``benchmark`` match exactly; ``git_sha`` matches any
+    prefix of the recorded SHA (so short SHAs work); ``since`` is an
+    ISO-8601 timestamp compared lexically against each record's
+    ``started`` (ISO UTC strings sort chronologically).
+    """
+    runs, _ = load_runs(path)
+    for record in runs:
+        if command is not None and record.get("command") != command:
+            continue
+        if benchmark is not None and record.get("benchmark") != benchmark:
+            continue
+        if git_sha is not None:
+            sha = record.get("git_sha") or ""
+            if not sha.startswith(git_sha):
+                continue
+        if since is not None and (record.get("started") or "") < since:
+            continue
+        yield record

@@ -89,6 +89,23 @@ def design_space_hash(space: Any) -> Optional[str]:
     return digest.hexdigest()[:16]
 
 
+def cache_hit_rate(metrics: Optional[Mapping[str, Any]]) -> Optional[float]:
+    """Cache hit fraction from a metrics snapshot, or ``None``.
+
+    ``cache_hits / (cache_hits + simulations_run)`` over the snapshot's
+    counters — the number that lets a history trend separate "the code got
+    slower" from "this run paid for more simulations".  Returns ``None``
+    when the snapshot records no lookups at all.
+    """
+    counters = dict(metrics or {}).get("counters") or {}
+    hits = float(counters.get("cache_hits", 0.0))
+    sims = float(counters.get("simulations_run", 0.0))
+    lookups = hits + sims
+    if lookups <= 0:
+        return None
+    return round(hits / lookups, 6)
+
+
 def build_manifest(
     command: str,
     seed: Optional[int] = None,
@@ -97,6 +114,7 @@ def build_manifest(
     metrics: Optional[Mapping[str, Any]] = None,
     wall_time_s: Optional[float] = None,
     cpu_time_s: Optional[float] = None,
+    jobs: Optional[int] = None,
     extra: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a manifest dict for one run.
@@ -113,10 +131,13 @@ def build_manifest(
         Parameter overrides / run knobs in effect.
     metrics:
         A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the run's
-        metric totals.
+        metric totals.  Also feeds the derived ``cache_hit_rate`` field.
     wall_time_s, cpu_time_s:
         Measured run cost.  ``cpu_time_s`` defaults to the process's
         cumulative CPU time (:func:`time.process_time`).
+    jobs:
+        Worker-process count in effect for the run (``None`` when not
+        applicable), so cross-run comparisons can normalise for fan-out.
     extra:
         Additional command-specific fields, merged at the top level.
     """
@@ -136,6 +157,8 @@ def build_manifest(
         "pid": os.getpid(),
         "wall_time_s": wall_time_s,
         "cpu_time_s": cpu_time_s if cpu_time_s is not None else time.process_time(),
+        "jobs": jobs,
+        "cache_hit_rate": cache_hit_rate(metrics),
         "metrics": dict(metrics) if metrics else {},
     }
     if extra:

@@ -47,6 +47,7 @@ from repro.obs.prof.gate import (
     BENCH_SCHEMA_VERSION,
     DEFAULT_BASELINE_PATH,
     check_results,
+    gate_summary,
     load_baseline,
     make_baseline,
     render_bench_table,
@@ -66,6 +67,7 @@ __all__ = [
     "aggregate_stacks",
     "benchmark",
     "check_results",
+    "gate_summary",
     "hot_spans",
     "load_baseline",
     "make_baseline",

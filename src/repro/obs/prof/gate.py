@@ -185,6 +185,27 @@ def check_results(results: Sequence[BenchResult],
     return violations
 
 
+def gate_summary(
+    violations: Sequence[str],
+    baseline_path: Optional[Union[str, Path]] = None,
+    checked: bool = True,
+) -> Dict[str, Any]:
+    """Ledger-ready summary of one gate outcome.
+
+    The run-history ledger stores this next to each bench run so
+    ``repro history`` and the HTML report can show the gate verdict
+    without re-reading ``BENCH_<run>.json``.  ``checked=False`` records
+    that the run skipped the gate (``passed`` is then ``None``, and
+    :func:`repro.obs.history.trend.latest_gate` ignores the record).
+    """
+    return {
+        "checked": bool(checked),
+        "passed": (not violations) if checked else None,
+        "violations": list(violations),
+        "baseline": str(baseline_path) if baseline_path is not None else None,
+    }
+
+
 # -- rendering --------------------------------------------------------------
 
 

@@ -244,6 +244,23 @@ def enabled() -> bool:
     return bool(_ACTIVE)
 
 
+def monotonic() -> float:
+    """One reading of the observability clock.
+
+    Returns the active collector's (injectable) clock when tracing, else
+    :func:`time.perf_counter`.  This is the sanctioned wall-clock seam for
+    ``repro`` library code (lint rule OBS002 forbids direct
+    ``time.time``/``time.monotonic``/``time.perf_counter`` calls outside
+    :mod:`repro.obs`): durations measured through it are deterministic
+    under a fake clock and expressed in the same units as recorded span
+    durations.
+    """
+    collector = current()
+    if collector is not None:
+        return collector.clock()
+    return time.perf_counter()
+
+
 @contextmanager
 def collecting(clock: Optional[Callable[[], float]] = None) -> Iterator[Collector]:
     """Activate a fresh :class:`Collector` for the ``with`` body."""

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from typing import Mapping, Optional
 
 from repro import obs
@@ -34,9 +33,9 @@ class Simulator:
         # Traced path: identical computation, plus a span and throughput
         # metrics.  Timing never feeds back into the simulation.
         with obs.span("simulate", instructions=len(trace)) as sp:
-            start = time.perf_counter()
+            start = obs.monotonic()
             result = core.run(trace, collect_timeline=collect_timeline)
-            elapsed = time.perf_counter() - start
+            elapsed = obs.monotonic() - start
             sp.set(cycles=result.cycles, cpi=result.cpi)
             obs.observe("simulate/wall_s", elapsed)
             if elapsed > 0:

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.simulator", "repro.workloads", "repro.analysis",
     "repro.experiments", "repro.statsim", "repro.util",
     "repro.lint", "repro.lint.rules", "repro.obs", "repro.obs.prof",
+    "repro.obs.history",
 ]
 
 

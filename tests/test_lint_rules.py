@@ -346,6 +346,65 @@ class TestOBS001:
         assert result.ok and len(result.suppressed) == 1
 
 
+class TestOBS002:
+    def test_flags_raw_clock_reads_in_library_module(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            def work():
+                start = time.perf_counter()
+                stamp = time.time()
+                tick = time.monotonic()
+                return time.perf_counter() - start, stamp, tick
+            """, filename="repro/experiments/demo.py", select={"OBS002"})
+        assert rule_ids(result) == ["OBS002"] * 4
+
+    def test_flags_from_time_import_of_clocks(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from time import perf_counter, sleep
+
+            def work():
+                return perf_counter()
+            """, filename="repro/core/demo.py", select={"OBS002"})
+        assert rule_ids(result) == ["OBS002"]
+
+    def test_allows_non_clock_time_usage(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            def pace():
+                time.sleep(0.1)
+                return time.strftime("%Y")
+            """, filename="repro/util/pace.py", select={"OBS002"})
+        assert result.ok
+
+    def test_exempts_obs_cli_and_non_library_code(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "import time\nstart = time.perf_counter()\n",
+            filename="repro/obs/tracing.py",
+            select={"OBS002"},
+            extra_files=[
+                ("repro/obs/prof/bench.py",
+                 "import time\nt = time.monotonic()\n"),
+                ("benchmarks/test_speed.py",
+                 "import time\nt0 = time.time()\n"),
+                ("examples/sweep.py",
+                 "from time import perf_counter\nt = perf_counter()\n"),
+            ],
+        )
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            def now():
+                return time.time()  # repro: noqa[OBS002]
+            """, filename="repro/util/stamp.py", select={"OBS002"})
+        assert result.ok and len(result.suppressed) == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self, tmp_path):
         result = lint_source(tmp_path, "def broken(:\n")
