@@ -12,8 +12,10 @@ from typing import List, Optional, Set
 
 from repro.lint.baseline import Baseline, discover_baseline
 from repro.lint.core import RULES
+from repro.lint.incremental import DEFAULT_REF, ChangedFilesError
 from repro.lint.reporters import REPORTERS
 from repro.lint.runner import LintRunner
+from repro.lint.semantic import default_fact_cache_path
 
 
 def _rule_ids(text: str) -> Set[str]:
@@ -50,6 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore any baseline file")
     parser.add_argument("--write-baseline", default=None, metavar="PATH",
                         help="write current findings as a new baseline and exit 0")
+    parser.add_argument("--changed", nargs="?", const=DEFAULT_REF,
+                        default=None, metavar="REF",
+                        help="incremental mode: lint only files changed vs "
+                             f"a git ref (default ref: {DEFAULT_REF}); "
+                             "project-wide facts for unchanged files come "
+                             "from the fact cache")
+    parser.add_argument("--fact-cache", default=None, metavar="PATH",
+                        help="location of the semantic fact cache (default: "
+                             "$REPRO_CACHE_DIR or .repro_cache, "
+                             "/lint-facts.json)")
+    parser.add_argument("--no-fact-cache", action="store_true",
+                        help="do not read or write the semantic fact cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="list the registered rules and exit")
     return parser
@@ -80,10 +94,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"repro-lint: cannot read baseline: {exc}", file=sys.stderr)
                 return 1
 
+    fact_cache_path = None
+    if not args.no_fact_cache:
+        fact_cache_path = args.fact_cache or default_fact_cache_path()
+
     runner = LintRunner(select=args.select, ignore=args.ignore)
     try:
-        result = runner.run(args.paths, baseline=baseline)
+        result = runner.run(args.paths, baseline=baseline,
+                            changed_ref=args.changed,
+                            fact_cache_path=fact_cache_path)
     except FileNotFoundError as exc:
+        parser.error(str(exc))  # exits 2
+    except ChangedFilesError as exc:
         parser.error(str(exc))  # exits 2
 
     if args.write_baseline is not None:

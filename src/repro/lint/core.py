@@ -35,13 +35,19 @@ _NOQA_RE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding: a rule violation at a source location."""
+    """One lint finding: a rule violation at a source location.
+
+    ``severity`` is ``"error"`` (gates the exit code) or ``"note"`` —
+    advisory findings such as the VEC001 vectorisation worklist that are
+    reported but never fail a run.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation (used by the JSON reporter)."""
@@ -51,6 +57,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
     def location(self) -> str:
@@ -113,6 +120,58 @@ def parse_suppressions(source: str) -> Suppressions:
     return supp
 
 
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Multi-line anchor spans: ``(first, last)`` line of each statement.
+
+    For compound statements (defs, classes, ``if``/``for``/``with``/...)
+    only the *header* — decorators through the line before the first body
+    statement — counts, so a noqa inside a function body never blankets
+    the whole function.  Single-line statements are omitted: they need no
+    expansion.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, decorators[0].lineno)
+            end = body[0].lineno - 1
+        if end > start:
+            spans.append((start, end))
+    return spans
+
+
+def _expand_multiline_suppressions(
+    supp: Suppressions, spans: Sequence[Tuple[int, int]]
+) -> None:
+    """Widen inline noqa comments to their whole multi-line statement.
+
+    A finding's anchor (e.g. the ``def`` line of a decorated function, or
+    the opening line of a parenthesised call) and the physical line a
+    trailing ``# repro: noqa[...]`` comment sits on can differ when the
+    statement spans several lines; expanding each inline suppression over
+    the smallest enclosing statement span makes the comment effective
+    anywhere in that statement.
+    """
+    if not supp.by_line:
+        return
+    for line in list(supp.by_line):
+        ids = supp.by_line[line]
+        best: Optional[Tuple[int, int]] = None
+        for start, end in spans:
+            if start <= line <= end and (
+                    best is None or end - start < best[1] - best[0]):
+                best = (start, end)
+        if best is not None:
+            for covered in range(best[0], best[1] + 1):
+                supp.by_line.setdefault(covered, set()).update(ids)
+
+
 @dataclass
 class FileContext:
     """Everything a file-scope rule needs about one source file."""
@@ -126,8 +185,9 @@ class FileContext:
     def from_source(cls, path: str, source: str) -> "FileContext":
         """Parse ``source`` into a context; raises ``SyntaxError`` as-is."""
         tree = ast.parse(source, filename=path)
-        return cls(path=path, source=source, tree=tree,
-                   suppressions=parse_suppressions(source))
+        supp = parse_suppressions(source)
+        _expand_multiline_suppressions(supp, _statement_spans(tree))
+        return cls(path=path, source=source, tree=tree, suppressions=supp)
 
 
 class Rule:
@@ -147,6 +207,8 @@ class Rule:
     scope: str = "file"
     #: Longer rationale used for documentation.
     rationale: str = ""
+    #: ``"error"`` (default, gates the exit code) or ``"note"`` (advisory).
+    severity: str = "error"
 
     def check_file(self, ctx: FileContext) -> List[Finding]:
         """Check one file; return findings (file-scope rules)."""
@@ -165,7 +227,7 @@ class Rule:
             line = getattr(node, "lineno", line)
             col = getattr(node, "col_offset", col)
         return Finding(rule=self.id, path=path, line=line, col=col,
-                       message=message)
+                       message=message, severity=self.severity)
 
 
 class VisitorRule(Rule, ast.NodeVisitor):
@@ -185,6 +247,35 @@ class VisitorRule(Rule, ast.NodeVisitor):
     def report(self, node: ast.AST, message: str) -> None:
         """Record a finding for ``node`` in the file being checked."""
         self._findings.append(self.finding(self._ctx.path, node, message))
+
+
+class ProjectRule(Rule):
+    """Project-scope rule driven by a whole-program :class:`Project`.
+
+    Where :class:`VisitorRule` sees one file's AST, a ``ProjectRule``
+    sees the entire linted set at once through a
+    :class:`repro.lint.semantic.Project`: the parsed file contexts plus
+    — built lazily, so rules that only need the raw contexts pay
+    nothing — the symbol table, call graph and dataflow facts of
+    :mod:`repro.lint.semantic`.  The runner builds the project once per
+    run and shares it across every project rule, so four semantic passes
+    cost one analysis.
+
+    Subclasses implement :meth:`check`; :meth:`check_project` remains as
+    a compatibility shim that wraps bare contexts in a project.
+    """
+
+    scope = "project"
+
+    def check(self, project) -> List[Finding]:
+        """Check the whole program; ``project`` is a semantic ``Project``."""
+        return []
+
+    def check_project(self, contexts: Sequence[FileContext]) -> List[Finding]:
+        """Compatibility shim: wrap ``contexts`` and delegate to :meth:`check`."""
+        from repro.lint.semantic import Project
+
+        return self.check(Project(list(contexts)))
 
 
 #: Registry of all known rules, keyed by rule id.

@@ -9,8 +9,19 @@ Each module groups the rules of one contract area:
 * :mod:`repro.lint.rules.registry_sync` — exhibit registry drift (REG001)
 * :mod:`repro.lint.rules.api` — API hygiene (API001, API002)
 * :mod:`repro.lint.rules.obs` — observability (OBS001)
+* :mod:`repro.lint.rules.semantic` — whole-program semantic passes
+  (DET001, MUT001, PAR001, VEC001)
 """
 
-from repro.lint.rules import api, design_space, numerics, obs, registry_sync, rng
+from repro.lint.rules import (
+    api,
+    design_space,
+    numerics,
+    obs,
+    registry_sync,
+    rng,
+    semantic,
+)
 
-__all__ = ["api", "design_space", "numerics", "obs", "registry_sync", "rng"]
+__all__ = ["api", "design_space", "numerics", "obs", "registry_sync", "rng",
+           "semantic"]

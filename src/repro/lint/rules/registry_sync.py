@@ -30,7 +30,7 @@ import os
 import re
 from typing import Dict, List, Optional, Sequence
 
-from repro.lint.core import FileContext, Finding, Rule, register
+from repro.lint.core import FileContext, Finding, ProjectRule, register
 
 #: Experiment-module filename shape (``fig4_error_vs_sample_size.py``).
 _EXHIBIT_RE = re.compile(r"^(fig|table)\w*\.py$")
@@ -96,20 +96,20 @@ def _find_root_for(start_dir: str, relative: str, max_up: int = 6) -> Optional[s
 
 
 @register
-class RegistrySyncRule(Rule):
+class RegistrySyncRule(ProjectRule):
     """Cross-check experiment modules, registry entries and harnesses."""
 
     id = "REG001"
     title = "experiment module / registry.py / benchmarks harness drift"
-    scope = "project"
     rationale = (
         "An exhibit module that is missing from the registry (or whose "
         "harness is gone) silently drops out of the reproduction surface; "
         "the registry is only trustworthy if it is mechanically synced."
     )
 
-    def check_project(self, contexts: Sequence[FileContext]) -> List[Finding]:
+    def check(self, project) -> List[Finding]:
         """Run the four sync checks over the linted file set."""
+        contexts: Sequence[FileContext] = project.contexts
         findings: List[Finding] = []
         by_path = {os.path.abspath(ctx.path): ctx for ctx in contexts}
 

@@ -1,0 +1,217 @@
+"""Semantic rules: DET001, MUT001, PAR001 and VEC001.
+
+These four project-scope rules consume the whole-program facts of
+:mod:`repro.lint.semantic` — the call graph, the nondeterminism
+witnesses, the cached-value alias facts, the pool-submission facts and
+the ndarray loop classifications.  They are the cross-module
+generalisation of the per-file contracts the repo already enforces:
+
+* **DET001** — nothing transitively reachable from the cache-keyed
+  simulation entry points (``SimulationRunner.metric`` and friends,
+  ``ProcessorConfig.key``) may consult wall clocks, hidden global RNG
+  state, the environment, namespace-order iteration or filesystem
+  listings.  Cache keys and cached metrics must be pure functions of
+  the design point, or the memoised-simulation methodology of the paper
+  silently stops being reproducible.
+* **MUT001** — values read out of the simulation cache (``result_at``,
+  ``_cache`` subscripts/``.get``) must not be mutated through any local
+  alias: the cache hands out the only copy of ground truth.
+* **PAR001** — work shipped into ``ProcessPoolExecutor.submit``/``map``
+  must be statically picklable; lambdas, nested functions, local classes
+  and open handles fail only at runtime, on the worker, with an opaque
+  traceback.
+* **VEC001** (severity *note*) — Python-level ``for`` loops over
+  ndarray-typed values in the hot-path modules named by the
+  ``benchmarks/perf`` targets, each reported with its trip-count
+  expression.  This is the mechanical worklist for ROADMAP item 2
+  ("vectorise the hot paths"); notes never fail a lint run.
+
+``repro.obs`` is exempt from DET001 witnesses: it is the measurement
+seam (wall-clock spans, run manifests) and is nondeterministic by
+design, mirroring the OBS002 exemption at the per-file layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePath
+from typing import List
+
+from repro.lint.core import Finding, ProjectRule, register
+
+#: Call-graph roots of DET001, matched by qualified-name suffix so the
+#: rule engages on fixtures that mirror the real class names.
+DETERMINISM_ROOTS = (
+    "SimulationRunner.metric",
+    "SimulationRunner.result_at",
+    "SimulationRunner.cpi",
+    "SimulationRunner.power",
+    "SimulationRunner._trace_fingerprint",
+    "ProcessorConfig.key",
+)
+
+#: Hot-path files whose array loops form the ROADMAP item 2 worklist
+#: (path suffixes; the prof targets file *is* the benchmarks/perf code).
+HOT_PATH_SUFFIXES = (
+    "repro/simulator/cache.py",
+    "repro/simulator/hierarchy.py",
+    "repro/simulator/tlb.py",
+    "repro/models/rbf.py",
+    "repro/obs/prof/targets.py",
+)
+
+
+def _is_obs_path(path: str) -> bool:
+    """Whether ``path`` lies inside the ``repro.obs`` measurement seam."""
+    parts = PurePath(path).parts
+    return any(parts[i:i + 2] == ("repro", "obs")
+               for i in range(len(parts) - 1))
+
+
+def _short(qname: str) -> str:
+    """Readable tail of a qualified name for call-chain messages."""
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qname
+
+
+@register
+class DeterminismRule(ProjectRule):
+    """DET001: cache-keyed simulation paths must be deterministic."""
+
+    id = "DET001"
+    title = "nondeterminism reachable from cache-keyed simulation entry points"
+    rationale = (
+        "The paper's methodology memoises simulation samples by design "
+        "point; any wall-clock, global-RNG, environment or filesystem-order "
+        "dependence reachable from the metric/cache-key paths makes cached "
+        "and fresh results diverge silently."
+    )
+
+    def check(self, project) -> List[Finding]:
+        """Walk the reachable set of the determinism roots for witnesses."""
+        graph = project.graph
+        roots = graph.roots_matching(DETERMINISM_ROOTS)
+        parent = graph.reachable(roots)
+        findings: List[Finding] = []
+        for qname in sorted(parent):
+            path = graph.paths[qname]
+            if path not in project.linted_paths or _is_obs_path(path):
+                continue
+            record = graph.functions[qname]
+            if not record["witnesses"]:
+                continue
+            chain = " -> ".join(
+                _short(q) for q in graph.call_chain(parent, qname))
+            for witness in record["witnesses"]:
+                findings.append(Finding(
+                    rule=self.id, path=project.ctx_path(path),
+                    line=witness["line"], col=witness["col"],
+                    message=(f"{witness['detail']} — reachable from a "
+                             f"cache-keyed entry point via {chain}"),
+                    severity=self.severity,
+                ))
+        return findings
+
+
+@register
+class CacheMutationRule(ProjectRule):
+    """MUT001: cached simulation results must never be mutated."""
+
+    id = "MUT001"
+    title = "mutation of a value aliasing the simulation cache"
+    rationale = (
+        "result_at() and the _cache mapping hand out the canonical copy of "
+        "a simulated point; mutating it through any alias corrupts every "
+        "later read of the same design point."
+    )
+
+    def check(self, project) -> List[Finding]:
+        """Lift the intra-procedural alias-mutation facts into findings."""
+        graph = project.graph
+        findings: List[Finding] = []
+        for qname in sorted(graph.functions):
+            path = graph.paths[qname]
+            if path not in project.linted_paths:
+                continue
+            for fact in graph.functions[qname]["mut"]:
+                findings.append(Finding(
+                    rule=self.id, path=project.ctx_path(path),
+                    line=fact["line"], col=fact["col"],
+                    message=(f"'{fact['var']}' aliases a cached value "
+                             f"(from {fact['origin']}) and is mutated via "
+                             f"{fact['how']}; copy before modifying"),
+                    severity=self.severity,
+                ))
+        return findings
+
+
+@register
+class PicklabilityRule(ProjectRule):
+    """PAR001: process-pool payloads must be statically picklable."""
+
+    id = "PAR001"
+    title = "unpicklable object shipped to a ProcessPoolExecutor"
+    rationale = (
+        "submit()/map() arguments cross a process boundary via pickle; "
+        "lambdas, nested functions, local classes and open handles only "
+        "fail at runtime on the worker."
+    )
+
+    def check(self, project) -> List[Finding]:
+        """Lift the pool-submission picklability facts into findings."""
+        graph = project.graph
+        findings: List[Finding] = []
+        for qname in sorted(graph.functions):
+            path = graph.paths[qname]
+            if path not in project.linted_paths:
+                continue
+            for fact in graph.functions[qname]["par"]:
+                findings.append(Finding(
+                    rule=self.id, path=project.ctx_path(path),
+                    line=fact["line"], col=fact["col"],
+                    message=(f"{fact['issue']} — arguments to "
+                             f"{fact['site']} must be picklable"),
+                    severity=self.severity,
+                ))
+        return findings
+
+
+@register
+class VectorisationRule(ProjectRule):
+    """VEC001 (note): ndarray loops in hot-path modules, with trip counts."""
+
+    id = "VEC001"
+    title = "Python-level loop over an ndarray in a hot-path module"
+    severity = "note"
+    rationale = (
+        "The benchmarks/perf targets pin the modules where Python-level "
+        "element loops dominate; each one is a vectorisation candidate "
+        "(ROADMAP item 2) and is reported with its trip-count expression "
+        "so the worklist is mechanical."
+    )
+
+    def check(self, project) -> List[Finding]:
+        """Report array-typed loops in the hot-path modules as notes."""
+        graph = project.graph
+        array_returning = None  # computed lazily: most runs have no "call" loops
+        findings: List[Finding] = []
+        for qname in sorted(graph.functions):
+            path = graph.paths[qname]
+            if path not in project.linted_paths:
+                continue
+            if not path.endswith(HOT_PATH_SUFFIXES):
+                continue
+            for loop in graph.functions[qname]["loops"]:
+                if loop["kind"] == "call":
+                    if array_returning is None:
+                        array_returning = graph.ndarray_returning()
+                    if loop["target"] not in array_returning:
+                        continue
+                findings.append(Finding(
+                    rule=self.id, path=project.ctx_path(path),
+                    line=loop["line"], col=loop["col"],
+                    message=(f"Python-level loop over ndarray "
+                             f"'{loop['iter']}' (trip count: "
+                             f"{loop['trip']}) — vectorisation candidate"),
+                    severity=self.severity,
+                ))
+        return findings

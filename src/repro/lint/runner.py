@@ -13,7 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.baseline import Baseline
-from repro.lint.core import FileContext, Finding, Rule, all_rules
+from repro.lint.core import FileContext, Finding, ProjectRule, Rule, all_rules
+from repro.lint.incremental import changed_files
+from repro.lint.semantic import build_project
 
 # Importing the rules package registers every concrete rule.
 import repro.lint.rules  # noqa: F401  (import for side effect)
@@ -66,8 +68,22 @@ class LintResult:
 
     @property
     def ok(self) -> bool:
-        """Whether the run is clean (no live findings)."""
-        return not self.findings
+        """Whether the run is clean: no live *error* findings.
+
+        Advisory ``note`` findings (e.g. the VEC001 vectorisation
+        worklist) are reported but never fail a run.
+        """
+        return not self.errors
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Live findings that gate the exit code."""
+        return [f for f in self.findings if f.severity != "note"]
+
+    @property
+    def notes(self) -> List[Finding]:
+        """Live advisory findings (reported, never failing)."""
+        return [f for f in self.findings if f.severity == "note"]
 
     def counts_by_rule(self) -> Dict[str, int]:
         """Live finding counts keyed by rule id."""
@@ -85,9 +101,23 @@ class LintRunner:
         self.rules: List[Rule] = all_rules(select=select, ignore=ignore)
 
     def run(self, paths: Sequence[str],
-            baseline: Optional[Baseline] = None) -> LintResult:
-        """Lint ``paths`` (files or directories) and return the result."""
+            baseline: Optional[Baseline] = None,
+            changed_ref: Optional[str] = None,
+            fact_cache_path: Optional[str] = None) -> LintResult:
+        """Lint ``paths`` (files or directories) and return the result.
+
+        ``changed_ref`` switches on incremental mode: only files changed
+        vs that git ref are linted, but project-scope rules still see the
+        whole collected set through the semantic fact graph (unchanged
+        files replay from the fact cache when ``fact_cache_path`` is
+        set), so cross-module facts stay sound.  ``fact_cache_path=None``
+        keeps the run stateless.
+        """
         files = collect_files(paths)
+        graph_sources = files
+        if changed_ref is not None:
+            changed = set(changed_files(changed_ref))
+            files = [f for f in files if os.path.abspath(f) in changed]
         contexts: List[FileContext] = []
         raw: List[Finding] = []
         sources: Dict[str, List[str]] = {}
@@ -109,9 +139,18 @@ class LintRunner:
             for rule in self.rules:
                 if rule.scope == "file":
                     raw.extend(rule.check_file(ctx))
-        for rule in self.rules:
-            if rule.scope == "project":
-                raw.extend(rule.check_project(contexts))
+
+        project_rules = [r for r in self.rules if r.scope == "project"]
+        if project_rules:
+            # One whole-program analysis shared by every project rule.
+            project = build_project(contexts, graph_sources=graph_sources,
+                                    fact_cache_path=fact_cache_path)
+            for rule in project_rules:
+                if isinstance(rule, ProjectRule):
+                    raw.extend(rule.check(project))
+                else:
+                    raw.extend(rule.check_project(contexts))
+            project.save_cache()
 
         raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 

@@ -16,8 +16,8 @@ PACKAGES = [
     "repro", "repro.core", "repro.sampling", "repro.models",
     "repro.simulator", "repro.workloads", "repro.analysis",
     "repro.experiments", "repro.statsim", "repro.util",
-    "repro.lint", "repro.lint.rules", "repro.obs", "repro.obs.prof",
-    "repro.obs.history",
+    "repro.lint", "repro.lint.rules", "repro.lint.semantic",
+    "repro.obs", "repro.obs.prof", "repro.obs.history",
 ]
 
 

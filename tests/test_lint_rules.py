@@ -529,3 +529,58 @@ class TestCli:
         clean = tmp_path / "clean.py"
         clean.write_text("x = 1\n")
         assert repro_main(["lint", str(clean), "--no-baseline"]) == 0
+
+
+class TestNoqaMultilineStatements:
+    # Regression: suppression used to match only the physical line of the
+    # finding's anchor, so a trailing noqa on any other line of a
+    # multi-line statement (parenthesised call, decorated def) was lost.
+
+    def test_trailing_noqa_anywhere_in_a_multiline_call(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            vals = np.random.random(
+                4
+            )  # repro: noqa[RNG001]
+            """)
+        assert rule_ids(result) == []
+        assert [f.rule for f in result.suppressed] == ["RNG001"]
+
+    def test_expansion_does_not_leak_past_the_statement(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            vals = np.random.random(
+                4
+            )  # repro: noqa[RNG001]
+            more = np.random.random(4)
+            """)
+        assert rule_ids(result) == ["RNG001"]
+        assert result.findings[0].line == 6
+
+    def test_decorated_def_header_counts_as_one_span(self):
+        src = (
+            "@decorate(\n"
+            "    arg=1,\n"
+            ")  # repro: noqa[API001]\n"
+            "def f():\n"
+            "    x = 1\n"
+            "    return x\n"
+        )
+        ctx = FileContext.from_source("x.py", src)
+        for line in (1, 2, 3, 4):
+            assert ctx.suppressions.is_suppressed("API001", line), line
+        assert not ctx.suppressions.is_suppressed("API001", 5)
+
+    def test_noqa_on_a_body_line_does_not_blanket_the_function(self):
+        src = (
+            "def f():\n"
+            "    a = 1  # repro: noqa[NUM002]\n"
+            "    b = 2\n"
+            "    return a + b\n"
+        )
+        ctx = FileContext.from_source("x.py", src)
+        assert ctx.suppressions.is_suppressed("NUM002", 2)
+        assert not ctx.suppressions.is_suppressed("NUM002", 1)
+        assert not ctx.suppressions.is_suppressed("NUM002", 3)
