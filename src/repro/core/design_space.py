@@ -222,6 +222,27 @@ class DesignSpace:
                 resolved[p.name] = max(1.0, round(point[p.name] * base))
         return resolved
 
+    def resolve_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`resolve` over an ``(m, n)`` array of points.
+
+        Row ``i`` of the result equals
+        ``as_array(resolve(as_dict(points[i])))``: fraction-of columns are
+        replaced by absolute values (``np.rint`` rounds half to even,
+        matching Python's ``round``), every other column is passed
+        through unchanged.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected {self.dimension} columns, got {points.shape[1]}"
+            )
+        resolved = points.copy()
+        for i, p in enumerate(self.parameters):
+            if p.fraction_of is not None:
+                base = resolved[:, self.index(p.fraction_of)]
+                resolved[:, i] = np.maximum(1.0, np.rint(points[:, i] * base))
+        return resolved
+
     # -- random designs -----------------------------------------------------
 
     def random_unit_points(self, count: int, rng: np.random.Generator) -> np.ndarray:

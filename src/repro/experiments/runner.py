@@ -113,9 +113,13 @@ _WORKER_OBS = False
 
 def _worker_init(benchmark: str, trace_length: int, seed: int,
                  trace_enabled: bool = False) -> None:
-    """Pool initializer: build the benchmark trace once per worker process."""
+    """Pool initializer: build the benchmark trace once per worker process.
+
+    ``prepare()`` decodes the per-trace invariants (column lists, line
+    ids) here, so every simulation the worker runs reuses them.
+    """
     global _WORKER_TRACE, _WORKER_OBS
-    _WORKER_TRACE = get_trace(benchmark, trace_length, seed)
+    _WORKER_TRACE = get_trace(benchmark, trace_length, seed).prepare()
     _WORKER_OBS = bool(trace_enabled)
 
 
@@ -173,7 +177,7 @@ def simulate_configs(
                     if collector is not None:
                         collector.adopt(payload, attrs={"worker": True})
         else:
-            trace = get_trace(benchmark, trace_length, seed)
+            trace = get_trace(benchmark, trace_length, seed).prepare()
             results = {
                 index: _summarize(Simulator(ProcessorConfig(**kwargs)).run(trace))
                 for index, kwargs in tasks
@@ -318,7 +322,7 @@ class SimulationRunner:
         if cached is not None:
             self._count("cache_hits")
             return dict(cached)
-        trace = get_trace(self.benchmark, self.trace_length, self.seed)
+        trace = get_trace(self.benchmark, self.trace_length, self.seed).prepare()
         summary = _summarize(Simulator(config).run(trace))
         self._count("simulations_run")
         self._cache[key] = summary
@@ -351,7 +355,7 @@ class SimulationRunner:
                         if collector is not None:
                             collector.adopt(payload, attrs={"worker": True})
             else:
-                trace = get_trace(self.benchmark, self.trace_length, self.seed)
+                trace = get_trace(self.benchmark, self.trace_length, self.seed).prepare()
                 for key, kwargs in configs.items():
                     self._cache[key] = _summarize(
                         Simulator(ProcessorConfig(**kwargs)).run(trace)

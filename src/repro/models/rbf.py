@@ -25,7 +25,7 @@ scale) are chosen per benchmark by grid search for the lowest AICc
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +50,16 @@ def gaussian_design_matrix(
     if centers.shape[0] == 0:
         return np.zeros((len(points), 0))
     diff = points[:, None, :] - centers[None, :, :]
+    return _design_from_diff(diff, radii)
+
+
+def _design_from_diff(diff: np.ndarray, radii: np.ndarray) -> np.ndarray:
+    """Design matrix from precomputed ``points - centers`` differences.
+
+    Shared by :func:`gaussian_design_matrix` and the per-tree candidate
+    cache so both produce bitwise-identical matrices: ``diff`` is
+    radius-independent and can be reused across the alpha grid.
+    """
     z = (diff / radii[None, :, :]) ** 2
     return np.exp(-z.sum(axis=2))
 
@@ -63,7 +73,9 @@ def _fit_weights(h: np.ndarray, y: np.ndarray, ridge: float = 1e-9):
     if h.shape[1] == 0:
         return np.zeros(0), float(np.dot(y, y))
     gram = h.T @ h
-    gram[np.diag_indices_from(gram)] += ridge
+    # Strided view of the diagonal; same elementwise add as indexing by
+    # diag_indices_from, without rebuilding the index arrays per call.
+    gram.flat[:: gram.shape[0] + 1] += ridge
     try:
         weights = np.linalg.solve(gram, h.T @ y)
     except np.linalg.LinAlgError:
@@ -126,6 +138,36 @@ class RBFNetwork(Model):
 
 
 @dataclass
+class CandidateSet:
+    """Alpha-independent geometry of one tree's candidate centers.
+
+    The ``(p_min, alpha)`` grid search shares a regression tree across
+    the whole alpha grid; everything here (breadth-first node order,
+    center coordinates, rectangle edge lengths and the ``points -
+    centers`` differences feeding the design matrix) depends only on the
+    tree and the sample, so it is computed once per tree and reused for
+    every alpha instead of being rebuilt per network.
+    """
+
+    nodes: List[TreeNode]
+    centers: np.ndarray  #: ``(m, n)`` candidate center coordinates.
+    sizes: np.ndarray  #: ``(m, n)`` hyper-rectangle edge lengths.
+    diff: np.ndarray  #: ``(p, m, n)`` sample-to-center differences.
+
+
+def tree_candidates(
+    points: np.ndarray, tree: RegressionTree, max_candidates: int = 255
+) -> CandidateSet:
+    """Precompute the candidate geometry shared across an alpha grid."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    nodes = tree.nodes_breadth_first()[:max_candidates]
+    centers = np.atleast_2d(np.array([n.center for n in nodes], dtype=float))
+    sizes = np.atleast_2d(np.array([n.size for n in nodes], dtype=float))
+    diff = points[:, None, :] - centers[None, :, :]
+    return CandidateSet(nodes=nodes, centers=centers, sizes=sizes, diff=diff)
+
+
+@dataclass
 class RBFBuildInfo:
     """Diagnostics from a single tree-based RBF construction."""
 
@@ -148,6 +190,7 @@ def build_rbf_from_tree(
     criterion: str = "aicc",
     max_candidates: int = 255,
     tree: Optional[RegressionTree] = None,
+    candidates: Optional[CandidateSet] = None,
 ) -> Tuple[RBFNetwork, RBFBuildInfo]:
     """Build one RBF network for fixed method parameters (Sec. 2.5).
 
@@ -167,6 +210,10 @@ def build_rbf_from_tree(
         (breadth-first order), bounding selection cost on large samples.
     tree:
         Optionally, a pre-built regression tree (must match ``p_min``).
+    candidates:
+        Optionally, the :func:`tree_candidates` geometry for ``tree``
+        (requires ``tree``); lets the alpha grid share one computation of
+        the center/difference arrays.
 
     Returns
     -------
@@ -175,24 +222,40 @@ def build_rbf_from_tree(
     points = np.atleast_2d(np.asarray(points, dtype=float))
     responses = np.asarray(responses, dtype=float).ravel()
     crit_fn = get_criterion(criterion)
-    if tree is None:
-        tree = RegressionTree(points, responses, p_min=p_min)
-    nodes = tree.nodes_breadth_first()[:max_candidates]
+    if candidates is None:
+        if tree is None:
+            tree = RegressionTree(points, responses, p_min=p_min)
+        candidates = tree_candidates(points, tree, max_candidates)
+    elif tree is None:
+        raise ValueError("candidates requires the matching tree")
+    nodes = candidates.nodes
     node_pos = {id(node): j for j, node in enumerate(nodes)}
 
-    centers = np.array([n.center for n in nodes])
-    radii = np.maximum(alpha * np.array([n.size for n in nodes]), _MIN_RADIUS)
-    h_full = gaussian_design_matrix(points, centers, radii)
+    centers = candidates.centers
+    radii = np.maximum(alpha * candidates.sizes, _MIN_RADIUS)
+    h_full = _design_from_diff(candidates.diff, radii)
 
     p = len(points)
     selected = np.zeros(len(nodes), dtype=bool)
 
+    # The trio walk revisits selections (every step re-scores the current
+    # one, and sibling steps often propose identical subsets), so each
+    # distinct subset's design-matrix fit is computed once and cached.
+    subset_cache: Dict[bytes, Tuple[float, float]] = {}
+
     def evaluate(sel: np.ndarray) -> Tuple[float, float]:
+        key = sel.tobytes()
+        cached = subset_cache.get(key)
+        if cached is not None:
+            return cached
         m = int(sel.sum())
         if m >= p - 1:  # AICc undefined; reject oversized models
-            return np.inf, np.inf
-        _, sse = _fit_weights(h_full[:, sel], responses)
-        return crit_fn(p, sse, m), sse
+            result = np.inf, np.inf
+        else:
+            _, sse = _fit_weights(h_full[:, sel], responses)
+            result = crit_fn(p, sse, m), sse
+        subset_cache[key] = result
+        return result
 
     # Tree-ordered subset selection (Orr et al. 2000): include the root,
     # then repeatedly consider a node with its two children and keep the
@@ -277,6 +340,7 @@ def search_rbf_model(
         with obs.span("fit/tree", p_min=p_min, points=len(points)) as tsp:
             tree = RegressionTree(points, responses, p_min=p_min)
             tsp.set(depth=tree.depth)
+        candidates = tree_candidates(points, tree, max_candidates)
         for alpha in alpha_grid:
             network, info = build_rbf_from_tree(
                 points,
@@ -286,6 +350,7 @@ def search_rbf_model(
                 criterion=criterion,
                 max_candidates=max_candidates,
                 tree=tree,
+                candidates=candidates,
             )
             tried.append(info)
             obs.inc("aicc_iterations")

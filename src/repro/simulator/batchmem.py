@@ -1,0 +1,183 @@
+"""Exact batched LRU membership resolution for caches and TLBs.
+
+The scalar simulator replays one address at a time against per-set LRU
+lists (:class:`repro.simulator.cache.Cache`,
+:class:`repro.simulator.tlb.TLB`).  That is the right oracle but a poor
+hot path: every reference costs a Python call, a ``list.index`` scan and
+a pop/append.  This module resolves a whole address stream against the
+same LRU state in NumPy, with *bitwise-identical* outcomes: the same
+accesses hit, the same victims are evicted, and the final LRU order of
+every set equals what the scalar loop would have produced.
+
+The algorithm exploits one structural fact about LRU: **set membership
+only changes at misses** (hits merely reorder recency).  So membership
+can be resolved in frozen-state rounds:
+
+1. Match every unresolved access against the current tag matrix.
+2. Per set, find the position of the earliest unresolved miss.  Every
+   *hit* that precedes it saw exactly the current membership, so it is
+   confirmed (its way's recency stamp advances to the access position).
+3. The earliest miss per set is resolved for real: it inserts its tag,
+   evicting the least-recent way (smallest stamp) when the set is full.
+4. Repeat with the remaining accesses.
+
+Each round confirms every access up to (and including) the first miss of
+each active set, so the number of rounds is bounded by the per-set miss
+count — typically a handful for cache-friendly streams.  Recency stamps
+are unique (pre-existing ways get negative stamps in LRU order; accesses
+use their stream position), so victim selection and the final write-back
+ordering are exact, not approximate.
+
+A round cap guards pathological streams (e.g. every access missing the
+same set): past it, the matrix state is written back and the remainder
+is replayed with plain list operations — the scalar oracle semantics,
+just without the per-call attribute lookups.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: Accesses resolved per matrix pass.  Each frozen-state round scans the
+#: chunk's unresolved tail, and a chunk needs roughly one round per miss
+#: in its busiest set — so smaller chunks bound the round-loop cost on
+#: miss-heavy streams, while hit-heavy streams finish in a round or two
+#: regardless of chunk size.
+_CHUNK = 2048
+
+#: Frozen-state rounds per chunk before bailing to the scalar replay.
+_ROUND_CAP = 256
+
+
+def resolve_lru_batch(
+    ways: List[List[int]],
+    assoc: int,
+    keys: np.ndarray,
+    set_idx: np.ndarray,
+) -> np.ndarray:
+    """Replay an access stream against per-set LRU lists, vectorised.
+
+    Parameters
+    ----------
+    ways:
+        One LRU-ordered list per set (index ``-1`` is most recent) — the
+        live state of a :class:`Cache` or :class:`TLB`.  Mutated to the
+        exact post-stream state.
+    assoc:
+        Maximum ways per set.
+    keys:
+        Non-negative int64 tags (line ids, page numbers), one per access,
+        in stream order.
+    set_idx:
+        int64 set index of each access.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean hit mask, one entry per access, identical to what
+        repeated scalar accesses would have returned.
+    """
+    num_sets = len(ways)
+    n = len(keys)
+    hit = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hit
+
+    # Matrix state: tags per way (-1 = empty), unique recency stamps
+    # (existing ways stamped ``-k .. -1`` oldest-to-newest, batch accesses
+    # stamped by stream position >= 0), and current occupancy.
+    tags = np.full((num_sets, assoc), -1, dtype=np.int64)
+    last = np.zeros((num_sets, assoc), dtype=np.int64)
+    counts = np.zeros(num_sets, dtype=np.int64)
+    for s, lst in enumerate(ways):
+        k = len(lst)
+        if k:
+            counts[s] = k
+            tags[s, :k] = lst
+            last[s, :k] = np.arange(-k, 0)
+
+    touched = np.zeros(num_sets, dtype=bool)
+    touched[set_idx] = True
+
+    positions = np.arange(n, dtype=np.int64)
+    for lo in range(0, n, _CHUNK):
+        remaining = positions[lo : min(n, lo + _CHUNK)]
+        rounds = 0
+        while remaining.size:
+            rounds += 1
+            if rounds > _ROUND_CAP:
+                # Pathological stream: fall back to the oracle semantics
+                # for everything not yet resolved.
+                _write_back(ways, tags, last, counts, touched)
+                pending = np.concatenate([remaining, positions[lo + _CHUNK :]])
+                _scalar_replay(ways, assoc, keys, set_idx, pending, hit)
+                return hit
+            k = keys[remaining]
+            s = set_idx[remaining]
+            match = tags[s] == k[:, None]
+            is_hit = match.any(axis=1)
+            way = np.argmax(match, axis=1)
+            miss = ~is_hit
+            if not miss.any():
+                hit[remaining] = True
+                np.maximum.at(last, (s, way), remaining)
+                break
+            # Earliest unresolved miss per set; hits before it are final.
+            first_miss = np.full(num_sets, n, dtype=np.int64)
+            np.minimum.at(first_miss, s[miss], remaining[miss])
+            confirm = is_hit & (remaining < first_miss[s])
+            cidx = remaining[confirm]
+            hit[cidx] = True
+            np.maximum.at(last, (s[confirm], way[confirm]), cidx)
+            # Resolve exactly the first miss of each active set: fill an
+            # empty way, or evict the least-recently-stamped one.
+            take = miss & (remaining == first_miss[s])
+            ms = s[take]
+            grow = counts[ms] < assoc
+            victim = np.argmin(last[ms], axis=1)
+            slot = np.where(grow, counts[ms], victim)
+            tags[ms, slot] = k[take]
+            last[ms, slot] = remaining[take]
+            counts[ms] += grow
+            remaining = remaining[~(confirm | take)]
+    _write_back(ways, tags, last, counts, touched)
+    return hit
+
+
+def _write_back(
+    ways: List[List[int]],
+    tags: np.ndarray,
+    last: np.ndarray,
+    counts: np.ndarray,
+    touched: np.ndarray,
+) -> None:
+    """Restore per-set LRU lists (oldest first) from the matrix state."""
+    for s in np.flatnonzero(touched).tolist():
+        k = counts[s]
+        order = np.argsort(last[s, :k], kind="stable")
+        ways[s] = tags[s, order].tolist()
+
+
+def _scalar_replay(
+    ways: List[List[int]],
+    assoc: int,
+    keys: np.ndarray,
+    set_idx: np.ndarray,
+    pending: np.ndarray,
+    hit: np.ndarray,
+) -> None:
+    """Finish unresolved accesses with plain list ops (oracle semantics)."""
+    key_list = keys[pending].tolist()
+    set_list = set_idx[pending].tolist()
+    for i, key, s in zip(pending.tolist(), key_list, set_list):
+        lst = ways[s]
+        try:
+            lst.remove(key)
+        except ValueError:
+            if len(lst) >= assoc:
+                lst.pop(0)
+        else:
+            hit[i] = True
+        lst.append(key)

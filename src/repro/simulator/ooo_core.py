@@ -154,12 +154,19 @@ class OutOfOrderCore:
         if collect_timeline:
             tl = Timeline([], [], [], [], [])
 
-        for i, (op, s1, s2, addr, pc, taken) in enumerate(trace.rows()):
+        # Per-trace invariants: the decoded columns and per-instruction
+        # L1I line ids are identical at every design point of a sweep, so
+        # they are memoised on the trace rather than recomputed per run.
+        ops, src1s, src2s, addrs, pcs, takens = trace.columns()
+        pc_line = trace.pc_lines(line_bits)
+
+        for i, (op, s1, s2, addr, pc, taken, line) in enumerate(
+            zip(ops, src1s, src2s, addrs, pcs, takens, pc_line)
+        ):
             # ---- fetch -------------------------------------------------
             if slots >= fetch_width:
                 fetch_cycle += 1.0
                 slots = 0
-            line = pc >> line_bits
             if line != cur_line:
                 cur_line = line
                 if not perfect_icache:

@@ -13,8 +13,8 @@ the simulator is agnostic to their origin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,16 @@ class Trace:
     pc: np.ndarray
     taken: np.ndarray
     name: str = "trace"
+    # Per-trace invariant caches (see :meth:`prepare`).  A trace is
+    # simulated at every point of a design sweep, so the Python-level
+    # decode of its arrays is memoised on the instance; the arrays must
+    # be treated as immutable once any cache is populated.
+    _columns: Optional[Tuple[list, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pc_lines: Dict[int, List[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = len(self.op)
@@ -107,16 +117,47 @@ class Trace:
             name=f"{self.name}[{start}:{stop}]",
         )
 
+    def columns(self) -> Tuple[list, ...]:
+        """Decoded per-instruction columns as plain Python lists, memoised.
+
+        Decoding ``(op, src1, src2, addr, pc, taken)`` once per trace —
+        instead of once per simulated design point — is a measurable win
+        for sweeps, and the values are exactly ``ndarray.tolist()`` of the
+        stored arrays, so consumers behave bitwise-identically.
+        """
+        if self._columns is None:
+            self._columns = (
+                self.op.tolist(),
+                self.src1.tolist(),
+                self.src2.tolist(),
+                self.addr.tolist(),
+                self.pc.tolist(),
+                self.taken.tolist(),
+            )
+        return self._columns
+
+    def pc_lines(self, line_bits: int) -> List[int]:
+        """Cache-line ids (``pc >> line_bits``) per instruction, memoised.
+
+        One entry per distinct ``line_bits`` (L1I line size) seen across
+        a sweep.
+        """
+        lines = self._pc_lines.get(line_bits)
+        if lines is None:
+            lines = (self.pc >> line_bits).tolist()
+            self._pc_lines[line_bits] = lines
+        return lines
+
+    def prepare(self, line_bits: Optional[int] = None) -> "Trace":
+        """Precompute the per-trace invariants used by the core; returns self."""
+        self.columns()
+        if line_bits is not None:
+            self.pc_lines(line_bits)
+        return self
+
     def rows(self) -> Iterator[Tuple[int, int, int, int, int, bool]]:
         """Iterate (op, src1, src2, addr, pc, taken) tuples."""
-        return zip(
-            self.op.tolist(),
-            self.src1.tolist(),
-            self.src2.tolist(),
-            self.addr.tolist(),
-            self.pc.tolist(),
-            self.taken.tolist(),
-        )
+        return zip(*self.columns())
 
 
 def empty_trace(name: str = "empty") -> Trace:

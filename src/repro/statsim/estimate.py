@@ -58,15 +58,37 @@ class StatisticalSimulator:
         self.simulations_run = 0
 
     def cpi_config(self, config: ProcessorConfig) -> float:
-        """Estimate CPI at one processor configuration."""
+        """Estimate CPI at one processor configuration.
+
+        ``simulations_run`` counts completed simulations only, so a
+        raising simulation does not inflate the cost accounting.
+        """
+        value = Simulator(config).run(self.trace).cpi
         self.simulations_run += 1
-        return Simulator(config).run(self.trace).cpi
+        return value
 
     def cpi(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised estimate at physical design points (runner-compatible)."""
+        """Estimate CPI at physical design points (runner-compatible).
+
+        All points are resolved in one vectorised pass
+        (:meth:`DesignSpace.resolve_batch`) and deduplicated: identical
+        resolved configurations — common when fraction-of parameters
+        round to the same queue sizes — are simulated once and their
+        result scattered to every requesting row.  ``simulations_run``
+        therefore counts *unique* configurations actually simulated.
+        """
         points = np.atleast_2d(np.asarray(points, dtype=float))
         out = np.empty(len(points))
-        for i, row in enumerate(points):
-            resolved = self.space.resolve(self.space.as_dict(row))
-            out[i] = self.cpi_config(ProcessorConfig.from_design_point(resolved))
+        if not len(points):
+            return out
+        resolved = self.space.resolve_batch(points)
+        # Configs are built from rounded values, so dedupe on those.
+        keys = np.rint(resolved).astype(np.int64)
+        unique_rows, inverse = np.unique(keys, axis=0, return_inverse=True)
+        names = self.space.names
+        unique_cpis = np.empty(len(unique_rows))
+        for j, row in enumerate(unique_rows):
+            point = dict(zip(names, row.tolist()))
+            unique_cpis[j] = self.cpi_config(ProcessorConfig.from_design_point(point))
+        out[:] = unique_cpis[inverse]
         return out

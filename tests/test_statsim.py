@@ -96,6 +96,7 @@ class TestEstimator:
 
     def test_vectorised_interface(self):
         from repro.core.design_space import paper_design_space
+        from repro.simulator.config import ProcessorConfig as PC
 
         estimator = StatisticalSimulator(SOURCE, synthetic_length=4000, seed=6)
         space = paper_design_space()
@@ -104,9 +105,53 @@ class TestEstimator:
             "l2_size_kb": 1024, "l2_lat": 12, "il1_size_kb": 32,
             "dl1_size_kb": 32, "dl1_lat": 2,
         })
-        values = estimator.cpi(np.vstack([point, point]))
-        assert values.shape == (2,)
+        other = point.copy()
+        other[space.index("l2_lat")] = 20
+        values = estimator.cpi(np.vstack([point, other, point]))
+        assert values.shape == (3,)
+        # Identical resolved configurations are simulated exactly once.
         assert estimator.simulations_run == 2
+        assert values[0] == values[2]
+        assert values[1] != values[0]
+        # The batch path returns the same number as the scalar path.
+        resolved = space.resolve(space.as_dict(point))
+        assert values[0] == estimator.cpi_config(PC.from_design_point(resolved))
+
+    def test_cpi_batch_matches_per_row(self):
+        from repro.core.design_space import paper_design_space
+
+        estimator = StatisticalSimulator(SOURCE, synthetic_length=3000, seed=6)
+        space = paper_design_space()
+        rng = np.random.default_rng(11)
+        unit = space.random_unit_points(4, rng)
+        phys = space.decode(unit, num_levels=8)
+        batch = estimator.cpi(phys)
+        scalar = np.array([
+            estimator.cpi_config(
+                ProcessorConfig.from_design_point(space.resolve(space.as_dict(row)))
+            )
+            for row in phys
+        ])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_resolve_batch_matches_scalar(self):
+        from repro.core.design_space import paper_design_space
+
+        space = paper_design_space()
+        rng = np.random.default_rng(3)
+        phys = space.decode(space.random_unit_points(32, rng), num_levels=8)
+        batch = space.resolve_batch(phys)
+        for row, brow in zip(phys, batch):
+            resolved = space.resolve(space.as_dict(row))
+            expect = [float(resolved[n]) for n in space.names]
+            assert brow.tolist() == expect
+
+    def test_simulations_run_counts_successes_only(self):
+        estimator = StatisticalSimulator(SOURCE, synthetic_length=3000, seed=6)
+        estimator.trace = None  # force the simulation itself to raise
+        with pytest.raises(Exception):
+            estimator.cpi_config(ProcessorConfig())
+        assert estimator.simulations_run == 0
 
     def test_accepts_profile_directly(self, stat_profile):
         estimator = StatisticalSimulator(stat_profile, synthetic_length=2000)

@@ -1,0 +1,464 @@
+"""Vectorised ≡ scalar equivalence suite.
+
+The vectorisation contract (docs/performance.md): every batched hot path
+must be *bitwise-identical* to its scalar oracle — same hits, same
+victims, same latencies, same final state — so that CPI numbers, bench
+work-metadata hashes and experiment goldens are untouched by speed work.
+These tests pin that contract with property-style comparisons against
+per-element references, plus a literal bitwise CPI pin across all eight
+SPEC profiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator.cache import Cache
+from repro.simulator.config import ProcessorConfig
+from repro.simulator.hierarchy import MemoryHierarchy
+from repro.simulator.tlb import TLB
+
+# ---------------------------------------------------------------------------
+# Cache.access_batch vs scalar Cache.access
+# ---------------------------------------------------------------------------
+
+
+def _scalar_cache_hits(cache, addrs):
+    return np.array([cache.access(int(a)) for a in addrs])
+
+
+CACHE_GEOMETRIES = [
+    # (size_kb, line_size, assoc) — direct-mapped, single-set, typical L1/L2
+    (1, 64, 1),
+    (1, 64, 16),
+    (8, 64, 2),
+    (32, 64, 4),
+    (256, 128, 8),
+]
+
+
+class TestCacheBatch:
+    @pytest.mark.parametrize("size_kb,line,assoc", CACHE_GEOMETRIES)
+    def test_matches_scalar_on_random_stream(self, size_kb, line, assoc):
+        rng = np.random.default_rng(hash((size_kb, line, assoc)) % (2**32))
+        # Working set around 2x capacity: plenty of hits, misses, evictions.
+        lines = 2 * (size_kb * 1024 // line)
+        addrs = rng.integers(0, lines, size=5000) * line
+        a = Cache(size_kb, line, assoc, "a")
+        b = Cache(size_kb, line, assoc, "b")
+        scalar = _scalar_cache_hits(a, addrs)
+        batch = b.access_batch(addrs)
+        np.testing.assert_array_equal(scalar, batch)
+        assert a._sets == b._sets  # identical membership AND LRU order
+        assert (a.accesses, a.misses) == (b.accesses, b.misses)
+
+    def test_matches_scalar_on_adversarial_single_set(self):
+        # Every access maps to set 0 and thrashes it: worst case for the
+        # round loop (one resolved miss per round) and for the bail path.
+        cache_a = Cache(1, 64, 2, "a")
+        cache_b = Cache(1, 64, 2, "b")
+        rng = np.random.default_rng(0)
+        num_sets = cache_a.num_sets
+        addrs = rng.integers(0, 8, size=3000) * num_sets * 64
+        scalar = _scalar_cache_hits(cache_a, addrs)
+        batch = cache_b.access_batch(addrs)
+        np.testing.assert_array_equal(scalar, batch)
+        assert cache_a._sets == cache_b._sets
+
+    @pytest.mark.parametrize("policy", ["fifo", "random"])
+    def test_non_lru_policies_fall_back_to_oracle(self, policy):
+        rng = np.random.default_rng(5)
+        addrs = rng.integers(0, 64, size=2000) * 64
+        a = Cache(1, 64, 4, "a", policy=policy)
+        b = Cache(1, 64, 4, "b", policy=policy)
+        scalar = _scalar_cache_hits(a, addrs)
+        batch = b.access_batch(addrs)
+        np.testing.assert_array_equal(scalar, batch)
+        assert a._sets == b._sets
+        assert a._victim_state == b._victim_state
+
+    def test_interleaves_with_scalar_accesses(self):
+        # Batch → scalar → batch must behave like one scalar stream.
+        rng = np.random.default_rng(9)
+        stream = rng.integers(0, 512, size=3000) * 64
+        a = Cache(4, 64, 4, "a")
+        b = Cache(4, 64, 4, "b")
+        expect = _scalar_cache_hits(a, stream)
+        got = np.concatenate([
+            b.access_batch(stream[:1000]),
+            _scalar_cache_hits(b, stream[1000:1100]),
+            b.access_batch(stream[1100:]),
+        ])
+        np.testing.assert_array_equal(expect, got)
+        assert a._sets == b._sets
+
+    def test_empty_batch(self):
+        cache = Cache(1, 64, 2)
+        assert cache.access_batch(np.zeros(0, dtype=np.int64)).shape == (0,)
+        assert cache.accesses == 0
+
+
+class TestTLBBatch:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 200, size=4000) << 12
+        a, b = TLB(entries=64), TLB(entries=64)
+        scalar = np.array([a.access(int(x)) for x in addrs], dtype=float)
+        batch = b.access_batch(addrs)
+        np.testing.assert_array_equal(scalar, batch)
+        assert a._lru == b._lru
+        assert (a.accesses, a.misses) == (b.accesses, b.misses)
+
+    def test_single_entry_tlb(self):
+        addrs = np.array([0, 1 << 12, 0, 0, 1 << 12], dtype=np.int64)
+        a, b = TLB(entries=1), TLB(entries=1)
+        scalar = np.array([a.access(int(x)) for x in addrs], dtype=float)
+        np.testing.assert_array_equal(scalar, b.access_batch(addrs))
+        assert a._lru == b._lru
+
+
+# ---------------------------------------------------------------------------
+# MemoryHierarchy.load_batch vs scalar load loop
+# ---------------------------------------------------------------------------
+
+
+def _mixed_stream(n, seed, hot_lines=1 << 10, cold_frac=0.2):
+    rng = np.random.default_rng(seed)
+    hot = rng.integers(0, hot_lines, size=n) << 6
+    cold = (rng.integers(0, 1 << 22, size=n) << 6) | (1 << 33)
+    return np.where(rng.random(n) < cold_frac, cold, hot)
+
+
+def _scalar_loads(hier, addrs, times):
+    return np.array(
+        [hier.load(a, t) for a, t in zip(addrs.tolist(), times.tolist())]
+    )
+
+
+HIER_CONFIGS = [
+    pytest.param(ProcessorConfig(), id="default"),
+    pytest.param(ProcessorConfig(enable_tlb=True), id="tlb"),
+    pytest.param(
+        ProcessorConfig(dl1_size_kb=1, dl1_assoc=1, l2_size_kb=16), id="tiny"
+    ),
+    pytest.param(ProcessorConfig(l2_lat=20, dl1_lat=4), id="slow"),
+    # These two must take the scalar-oracle fallback (time-coupled state).
+    pytest.param(ProcessorConfig(writeback=True), id="writeback-fallback"),
+    pytest.param(
+        ProcessorConfig(enable_stride_prefetch=True), id="stride-fallback"
+    ),
+]
+
+
+class TestHierarchyBatch:
+    @pytest.mark.parametrize("config", HIER_CONFIGS)
+    def test_bitwise_latencies_stats_and_state(self, config):
+        addrs = _mixed_stream(4000, seed=17)
+        times = np.cumsum(np.ones(4000)) - 1.0
+        h_scalar = MemoryHierarchy(config)
+        h_batch = MemoryHierarchy(config)
+        expect = _scalar_loads(h_scalar, addrs, times)
+        got = h_batch.load_batch(addrs, times)
+        np.testing.assert_array_equal(expect, got)
+        assert h_scalar.stats() == h_batch.stats()
+        assert h_scalar._inflight == h_batch._inflight
+        # Post-state agreement: future scalar loads behave identically.
+        follow = _mixed_stream(300, seed=23)
+        follow_t = np.arange(4000.0, 4300.0)
+        np.testing.assert_array_equal(
+            _scalar_loads(h_scalar, follow, follow_t),
+            _scalar_loads(h_batch, follow, follow_t),
+        )
+
+    def test_batch_reproduces_bench_latency_sum(self):
+        # The exact seeded stream of the sim/cache_hierarchy benchmark;
+        # its work-metadata hash pins this sum across commits.
+        accesses = 2000
+        rng = np.random.default_rng(20060101)
+        hot = rng.integers(0, 1 << 16, size=accesses) << 6
+        cold = (rng.integers(0, 1 << 24, size=accesses) << 6) | (1 << 33)
+        addrs = np.where(rng.random(accesses) < 0.2, cold, hot)
+        times = np.arange(accesses, dtype=float)
+        h_scalar = MemoryHierarchy(ProcessorConfig())
+        h_batch = MemoryHierarchy(ProcessorConfig())
+        expect = sum(_scalar_loads(h_scalar, addrs, times).tolist())
+        got = sum(h_batch.load_batch(addrs, times).tolist())
+        assert repr(expect) == repr(got)
+
+    def test_empty_and_invalid_inputs(self):
+        hier = MemoryHierarchy(ProcessorConfig())
+        assert hier.load_batch(np.zeros(0, dtype=np.int64), np.zeros(0)).shape == (0,)
+        with pytest.raises(ValueError):
+            hier.load_batch(np.zeros(3, dtype=np.int64), np.zeros(2))
+
+
+# ---------------------------------------------------------------------------
+# MSHR in-flight fill table (merge + incremental pruning)
+# ---------------------------------------------------------------------------
+
+
+class TestInflightFills:
+    def test_second_miss_merges_with_outstanding_fill(self):
+        hier = MemoryHierarchy(ProcessorConfig())
+        addr = 1 << 20
+        first = hier._l2_fill(addr, 0.0)
+        requests = hier.memctrl.requests
+        # Same line, issued before the fill completes: merges, no new
+        # memory request, same ready time.
+        second = hier._l2_fill(addr + 8, first - 1.0)
+        assert second == first
+        assert hier.memctrl.requests == requests
+
+    def test_completed_fill_does_not_merge(self):
+        hier = MemoryHierarchy(ProcessorConfig())
+        addr = 1 << 20
+        first = hier._l2_fill(addr, 0.0)
+        requests = hier.memctrl.requests
+        second = hier._l2_fill(addr, first + 1.0)
+        assert hier.memctrl.requests == requests + 1
+        assert second > first
+
+    def test_completed_fills_are_pruned_incrementally(self):
+        from repro.simulator.hierarchy import _INFLIGHT_LIMIT
+
+        hier = MemoryHierarchy(ProcessorConfig())
+        line_bytes = hier.l2.line_size
+        # Each fill is issued long after the previous completed, so the
+        # table would grow without bound if completed entries survived.
+        time = 0.0
+        for i in range(4 * _INFLIGHT_LIMIT):
+            done = hier._l2_fill(i * line_bytes, time)
+            time = done + 1000.0
+        assert len(hier._inflight) <= _INFLIGHT_LIMIT + 1
+        assert len(hier._inflight_heap) <= _INFLIGHT_LIMIT + 1
+
+    def test_outstanding_fills_survive_pruning(self):
+        from repro.simulator.hierarchy import _INFLIGHT_LIMIT
+
+        hier = MemoryHierarchy(ProcessorConfig())
+        line_bytes = hier.l2.line_size
+        # All fills issued at time 0: with a saturated bus every
+        # completion is in the future, so nothing may be dropped and
+        # later same-line misses must still merge.
+        ready = {}
+        for i in range(2 * _INFLIGHT_LIMIT):
+            ready[i] = hier._l2_fill(i * line_bytes, 0.0)
+        assert len(hier._inflight) == 2 * _INFLIGHT_LIMIT
+        requests = hier.memctrl.requests
+        for i in range(2 * _INFLIGHT_LIMIT):
+            assert hier._l2_fill(i * line_bytes, 1.0) == ready[i]
+        assert hier.memctrl.requests == requests
+
+
+# ---------------------------------------------------------------------------
+# MemoryHierarchy.stats() TLB gating
+# ---------------------------------------------------------------------------
+
+
+class TestStatsTLBGating:
+    def test_each_tlb_stat_gated_on_its_own_presence(self):
+        hier = MemoryHierarchy(ProcessorConfig(enable_tlb=True))
+        hier.itlb = None  # split configuration: data TLB only
+        stats = hier.stats()
+        assert "itlb_miss_rate" not in stats
+        assert "dtlb_miss_rate" in stats
+
+        hier = MemoryHierarchy(ProcessorConfig(enable_tlb=True))
+        hier.dtlb = None  # instruction TLB only
+        stats = hier.stats()
+        assert "itlb_miss_rate" in stats
+        assert "dtlb_miss_rate" not in stats
+
+    def test_both_present_and_both_absent(self):
+        on = MemoryHierarchy(ProcessorConfig(enable_tlb=True)).stats()
+        assert "itlb_miss_rate" in on and "dtlb_miss_rate" in on
+        off = MemoryHierarchy(ProcessorConfig()).stats()
+        assert "itlb_miss_rate" not in off and "dtlb_miss_rate" not in off
+
+
+# ---------------------------------------------------------------------------
+# RBF: batched design-matrix / AICc path vs naive per-element references
+# ---------------------------------------------------------------------------
+
+
+def _naive_design_matrix(points, centers, radii):
+    """Per-element Gaussian responses (Eq. 2), no vectorisation."""
+    h = np.zeros((len(points), len(centers)))
+    for i, x in enumerate(points):
+        for j, (c, r) in enumerate(zip(centers, radii)):
+            h[i, j] = np.exp(-float(sum(((x - c) / r) ** 2)))
+    return h
+
+
+def _naive_build(points, responses, p_min, alpha, max_candidates=255):
+    """Reference tree-ordered AICc selection: no memoisation, no candidate
+    cache, design matrix rebuilt from scratch — the pre-vectorisation
+    algorithm, kept as an executable specification."""
+    from repro.models.rbf import _MIN_RADIUS, _fit_weights, gaussian_design_matrix
+    from repro.models.selection import get_criterion
+    from repro.models.tree import RegressionTree
+
+    crit_fn = get_criterion("aicc")
+    tree = RegressionTree(points, responses, p_min=p_min)
+    nodes = tree.nodes_breadth_first()[:max_candidates]
+    node_pos = {id(n): j for j, n in enumerate(nodes)}
+    centers = np.array([n.center for n in nodes])
+    radii = np.maximum(alpha * np.array([n.size for n in nodes]), _MIN_RADIUS)
+    h_full = gaussian_design_matrix(points, centers, radii)
+    p = len(points)
+    selected = np.zeros(len(nodes), dtype=bool)
+
+    def evaluate(sel):
+        m = int(sel.sum())
+        if m >= p - 1:
+            return np.inf, np.inf
+        _, sse = _fit_weights(h_full[:, sel], responses)
+        return crit_fn(p, sse, m), sse
+
+    selected[0] = True
+    best_value, best_sse = evaluate(selected)
+    queue = [nodes[0]]
+    while queue:
+        node = queue.pop(0)
+        if node.is_leaf:
+            continue
+        trio_pos = [node_pos.get(id(t)) for t in (node, node.left, node.right)]
+        if any(pos is None for pos in trio_pos):
+            continue
+        best_combo = tuple(selected[pos] for pos in trio_pos)
+        for combo in range(8):
+            bits = ((combo >> 2) & 1, (combo >> 1) & 1, combo & 1)
+            trial = selected.copy()
+            for pos, bit in zip(trio_pos, bits):
+                trial[pos] = bool(bit)
+            value, sse = evaluate(trial)
+            if value < best_value:
+                best_value, best_sse = value, sse
+                best_combo = tuple(bool(b) for b in bits)
+        for pos, bit in zip(trio_pos, best_combo):
+            selected[pos] = bit
+        queue.append(node.left)
+        queue.append(node.right)
+    weights, sse = _fit_weights(h_full[:, selected], responses)
+    return best_value, sse, int(selected.sum()), weights
+
+
+class TestRBFVectorised:
+    def _sample(self, n=80, d=5, seed=1):
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, d))
+        responses = np.sin(points @ np.arange(1.0, d + 1.0)) + 0.1 * rng.random(n)
+        return points, responses
+
+    def test_design_matrix_matches_naive_reference(self):
+        from repro.models.rbf import gaussian_design_matrix
+
+        rng = np.random.default_rng(2)
+        points = rng.random((40, 4))
+        centers = rng.random((7, 4))
+        radii = 0.3 + rng.random((7, 4))
+        np.testing.assert_allclose(
+            gaussian_design_matrix(points, centers, radii),
+            _naive_design_matrix(points, centers, radii),
+            rtol=1e-12,
+        )
+
+    def test_candidate_cache_is_bitwise_transparent(self):
+        from repro.models.rbf import (
+            _MIN_RADIUS,
+            _design_from_diff,
+            build_rbf_from_tree,
+            gaussian_design_matrix,
+            tree_candidates,
+        )
+        from repro.models.tree import RegressionTree
+
+        points, responses = self._sample()
+        tree = RegressionTree(points, responses, p_min=2)
+        cand = tree_candidates(points, tree)
+        for alpha in (2.0, 6.0, 12.0):
+            radii = np.maximum(alpha * cand.sizes, _MIN_RADIUS)
+            direct = gaussian_design_matrix(points, cand.centers, radii)
+            cached = _design_from_diff(cand.diff, radii)
+            np.testing.assert_array_equal(direct, cached)  # bitwise
+            fresh_net, fresh_info = build_rbf_from_tree(
+                points, responses, p_min=2, alpha=alpha
+            )
+            cand_net, cand_info = build_rbf_from_tree(
+                points, responses, p_min=2, alpha=alpha, tree=tree, candidates=cand
+            )
+            assert fresh_info.criterion_value == cand_info.criterion_value
+            assert fresh_info.sse == cand_info.sse
+            np.testing.assert_array_equal(fresh_net.weights, cand_net.weights)
+
+    def test_candidates_without_tree_rejected(self):
+        from repro.models.rbf import build_rbf_from_tree, tree_candidates
+        from repro.models.tree import RegressionTree
+
+        points, responses = self._sample(n=30, d=3)
+        cand = tree_candidates(points, RegressionTree(points, responses, p_min=2))
+        with pytest.raises(ValueError):
+            build_rbf_from_tree(points, responses, candidates=cand)
+
+    @pytest.mark.parametrize("p_min,alpha", [(1, 4.0), (2, 6.0), (3, 10.0)])
+    def test_memoised_selection_matches_naive_reference(self, p_min, alpha):
+        from repro.models.rbf import build_rbf_from_tree
+
+        points, responses = self._sample(seed=p_min)
+        network, info = build_rbf_from_tree(
+            points, responses, p_min=p_min, alpha=alpha
+        )
+        value, sse, num_centers, weights = _naive_build(
+            points, responses, p_min, alpha
+        )
+        # Bitwise: the memoised/cached path must change nothing.
+        assert info.criterion_value == value
+        assert info.sse == sse
+        assert info.num_centers == num_centers
+        np.testing.assert_array_equal(network.weights, weights)
+
+
+# ---------------------------------------------------------------------------
+# Bitwise CPI pin: all 8 SPEC profiles at 3 design points
+# ---------------------------------------------------------------------------
+
+#: Physical design points: low corner, paper default center, high corner.
+PIN_POINTS = [
+    {"pipe_depth": 7, "rob_size": 24, "iq_frac": 0.25, "lsq_frac": 0.25,
+     "l2_size_kb": 256, "l2_lat": 5, "il1_size_kb": 8, "dl1_size_kb": 8,
+     "dl1_lat": 1},
+    {"pipe_depth": 12, "rob_size": 64, "iq_frac": 0.5, "lsq_frac": 0.5,
+     "l2_size_kb": 1024, "l2_lat": 12, "il1_size_kb": 32, "dl1_size_kb": 32,
+     "dl1_lat": 2},
+    {"pipe_depth": 24, "rob_size": 128, "iq_frac": 0.75, "lsq_frac": 0.75,
+     "l2_size_kb": 8192, "l2_lat": 20, "il1_size_kb": 64, "dl1_size_kb": 64,
+     "dl1_lat": 4},
+]
+
+#: repr() of the CPI at each point, captured on the pre-vectorisation
+#: scalar simulator (trace length 4096, seed 0).  Bitwise contract: any
+#: deviation in the last ulp fails this test.
+PIN_CPIS = {
+    "mcf": ["15.603515625", "15.943080357142858", "17.194475446428573"],
+    "crafty": ["5.796037946428571", "5.940011160714286", "6.934709821428571"],
+    "parser": ["5.624720982142857", "5.831473214285714", "6.705636160714286"],
+    "perlbmk": ["9.109654017857142", "9.82421875", "11.07421875"],
+    "vortex": ["9.440569196428571", "10.102678571428571", "11.519252232142858"],
+    "twolf": ["6.025390625", "6.149274553571429", "6.824497767857143"],
+    "equake": ["6.265066964285714", "6.128069196428571", "6.677734375"],
+    "ammp": ["6.154296875", "6.191685267857143", "6.669084821428571"],
+}
+
+
+@pytest.mark.parametrize("bench_name", sorted(PIN_CPIS))
+def test_cpi_bitwise_pinned(bench_name):
+    from repro.core.design_space import paper_design_space
+    from repro.simulator.simulator import Simulator
+    from repro.workloads.spec2000 import get_trace
+
+    space = paper_design_space()
+    trace = get_trace(bench_name, 4096, 0)
+    got = []
+    for point in PIN_POINTS:
+        config = ProcessorConfig.from_design_point(space.resolve(point))
+        got.append(repr(Simulator(config).run(trace).cpi))
+    assert got == PIN_CPIS[bench_name]
