@@ -8,6 +8,13 @@ Commands
     comma-separated override value (``l2_lat=12,18``) sweeps a grid of
     configurations — the cross product over all list-valued overrides —
     optionally in parallel (``--jobs``).
+``stacks``
+    Run attributed simulations (cycle accounting on) for one benchmark
+    and print the CPI stack — cycles per binding constraint, summing
+    bitwise-exactly to measured cycles — one column per swept
+    configuration, with normalized bars (``--normalize``), machine form
+    (``--json``) and a windowed per-K-instruction interval stream
+    (``--intervals``; see :mod:`repro.simulator.attribution`).
 ``build``
     Run the BuildRBFmodel procedure for a benchmark at one sample size,
     validate on random test points, and print the error report plus the
@@ -123,7 +130,7 @@ def _override_grid(overrides: dict) -> List[dict]:
 
 
 def _record_run(manifest, args: Optional[argparse.Namespace] = None,
-                gate=None, extra=None) -> None:
+                gate=None, extra=None, note_file=None) -> None:
     """Append one run to the run-history ledger and say where."""
     from repro.obs import history
 
@@ -134,23 +141,25 @@ def _record_run(manifest, args: Optional[argparse.Namespace] = None,
         extra=extra,
     )
     path = history.append_run(record)
-    print(f"[run recorded in {path}]")
+    print(f"[run recorded in {path}]", file=note_file or sys.stdout)
 
 
 def _write_run_manifest(command: str,
                         args: Optional[argparse.Namespace] = None,
-                        **kwargs) -> None:
+                        note_file=None, **kwargs) -> None:
     """Write ``results/manifest.json`` for one CLI run and say where.
 
     Also appends the run to the history ledger — the manifest is the
-    per-run snapshot, the ledger the longitudinal record.
+    per-run snapshot, the ledger the longitudinal record.  ``note_file``
+    redirects the "[written to ...]" notes (stderr for ``--json`` modes
+    whose stdout must stay machine-readable).
     """
     from repro.experiments.report import results_dir
 
     manifest = obs.build_manifest(command, **kwargs)
     path = obs.write_manifest(results_dir() / "manifest.json", manifest)
-    print(f"[manifest written to {path}]")
-    _record_run(manifest, args)
+    print(f"[manifest written to {path}]", file=note_file or sys.stdout)
+    _record_run(manifest, args, note_file=note_file)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -209,6 +218,91 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         extra={"benchmark": args.benchmark,
                "trace_length": args.trace_length,
                "configurations": len(grid)},
+    )
+    return 0
+
+
+def cmd_stacks(args: argparse.Namespace) -> int:
+    """``repro stacks``: CPI stacks from attributed simulations."""
+    import json as _json
+
+    from repro.experiments.report import results_dir
+    from repro.simulator import attribution
+    from repro.simulator.simulator import Simulator
+
+    overrides = _parse_overrides(args.overrides)
+    grid = _override_grid(overrides)
+    swept = sorted(k for k, v in overrides.items() if isinstance(v, tuple))
+    start = obs.monotonic()
+    trace = get_trace(args.benchmark, args.trace_length)
+    stacks = {}
+    attributions = {}
+    for combo in grid:
+        try:
+            config = ProcessorConfig(**combo)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"bad configuration: {exc}")
+        label = (",".join(f"{k}={combo[k]}" for k in swept)
+                 if swept else (",".join(f"{k}={v}" for k, v in combo.items())
+                                or "default"))
+        sim = Simulator(config)
+        result = sim.run(trace, collect_attribution=True)
+        stacks[label] = sim.last_core.attribution.stack()
+        attributions[label] = sim.last_core.attribution
+    title = (f"CPI stacks: {spec_label(args.benchmark)} on "
+             f"{args.trace_length} instructions")
+    if args.json:
+        doc = {
+            "benchmark": args.benchmark,
+            "trace_length": args.trace_length,
+            "components": list(attribution.COMPONENTS),
+            "stacks": {
+                label: {
+                    "cpi": stack.cpi,
+                    "cycles": stack.cycles,
+                    "instructions": stack.instructions,
+                    "components": stack.as_dict(),
+                }
+                for label, stack in stacks.items()
+            },
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(title)
+        print(attribution.render_stack_table(stacks, normalize=args.normalize))
+    interval_lines = 0
+    if args.intervals is not None:
+        base = (Path(args.intervals) if args.intervals
+                else results_dir() / f"stacks-{args.benchmark}.jsonl")
+        for index, (label, att) in enumerate(attributions.items()):
+            dest = (base if len(attributions) == 1
+                    else base.with_name(f"{base.stem}-{index}{base.suffix}"))
+            records = att.intervals(args.interval)
+            interval_lines += attribution.write_intervals_jsonl(
+                dest, records,
+                benchmark=args.benchmark, config=label, window=args.interval,
+            )
+            attribution.emit_interval_events(
+                records, benchmark=args.benchmark, config=label)
+            # Keep --json stdout machine-readable: notes go to stderr.
+            print(f"[{len(records)} interval(s) written to {dest}]",
+                  file=sys.stderr if args.json else sys.stdout)
+    first = next(iter(stacks.values()))
+    _write_run_manifest(
+        "stacks", args,
+        note_file=sys.stderr if args.json else None,
+        overrides={k: list(v) if isinstance(v, tuple) else v
+                   for k, v in overrides.items()},
+        wall_time_s=obs.monotonic() - start,
+        extra={
+            "benchmark": args.benchmark,
+            "trace_length": args.trace_length,
+            "configurations": len(grid),
+            "cpi": first.cpi,
+            "stack_mem_frac": first.memory_fraction(),
+            "stack_frontend_frac": first.frontend_fraction(),
+            "stack": first.as_dict(),
+        },
     )
     return 0
 
@@ -644,6 +738,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_JOBS, else serial)")
     p_sim.set_defaults(func=cmd_simulate)
 
+    p_stacks = sub.add_parser(
+        "stacks", parents=[traced],
+        help="CPI stacks: cycle accounting per binding constraint",
+    )
+    p_stacks.add_argument("benchmark", choices=benchmark_names())
+    p_stacks.add_argument("overrides", nargs="*",
+                          help="ProcessorConfig overrides; comma-separated "
+                               "values sweep configurations side by side")
+    p_stacks.add_argument("--trace-length", type=int, default=32768)
+    p_stacks.add_argument("--normalize", action="store_true",
+                          help="print fractions of total cycles instead of "
+                               "CPI contributions")
+    p_stacks.add_argument("--json", action="store_true",
+                          help="emit the machine-readable stacks instead of "
+                               "the table")
+    p_stacks.add_argument("--interval", type=int, default=512, metavar="K",
+                          help="interval-stream window size in committed "
+                               "instructions (default 512)")
+    p_stacks.add_argument("--intervals", nargs="?", const="", default=None,
+                          metavar="PATH",
+                          help="write the windowed interval stream as JSONL "
+                               "(default path: results/stacks-<benchmark>"
+                               ".jsonl)")
+    p_stacks.set_defaults(func=cmd_stacks)
+
     p_build = sub.add_parser("build", parents=[traced],
                              help="build and validate a CPI model")
     p_build.add_argument("benchmark", nargs="?", choices=benchmark_names())
@@ -747,8 +866,10 @@ def build_parser() -> argparse.ArgumentParser:
         "trend", parents=[hist_common, hist_filters],
         help="sparkline + table of one numeric field across runs")
     p_htrend.add_argument("field",
-                          help="record field to trend, e.g. mean_error_pct "
-                               "or bench_wall_s")
+                          help="record field to trend, e.g. mean_error_pct, "
+                               "bench_wall_s, or the cycle-accounting "
+                               "headlines stack_mem_frac / "
+                               "stack_frontend_frac")
     p_htrend.add_argument("--x", default=None, metavar="FIELD",
                           help="x-axis field (default: ledger index), "
                                "e.g. sample_size")

@@ -126,4 +126,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "benchmarks/test_table5_significant_splits.py",
         "mcf, vortex",
     ),
+    "stacks": Experiment(
+        "CPI stacks",
+        "Cycle accounting: CPI stacks at contrasting design points (exact sums)",
+        "repro.experiments.stacks_cpi_breakdown",
+        "benchmarks/test_stacks_cpi_breakdown.py",
+        "all eight",
+    ),
 }

@@ -46,6 +46,7 @@ from repro.obs.tracing import (
     monotonic,
     observe,
     recent_failures,
+    record_event,
     record_failure,
     set_gauge,
     span,
@@ -76,6 +77,7 @@ __all__ = [
     "read_manifest",
     "read_trace",
     "recent_failures",
+    "record_event",
     "record_failure",
     "render_summary",
     "set_gauge",

@@ -39,10 +39,15 @@ MANIFEST_FIELDS = (
 )
 
 #: Command-specific headline fields lifted from manifest extras when present.
+#: ``stack_mem_frac`` / ``stack_frontend_frac`` are the headline CPI-stack
+#: components recorded by attributed runs (``repro stacks`` and the stacks
+#: exhibit): fraction of cycles attributed to the memory system and to
+#: front-end bubbles — trendable like any flat numeric field.
 HEADLINE_FIELDS = (
     "benchmark", "sample_size", "trace_length", "configurations", "cpi",
     "p_min", "alpha", "num_centers", "mean_error_pct", "max_error_pct",
-    "bench_wall_s", "artifact",
+    "bench_wall_s", "artifact", "stack_mem_frac", "stack_frontend_frac",
+    "stack",
 )
 
 #: Metric counters summarised into flat record fields.

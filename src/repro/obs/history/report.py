@@ -13,6 +13,9 @@ itself can be diffed across commits.  Pieces:
 * the paper's own longitudinal chart — mean CPI error vs sample size —
   and the bench wall-time trend per run, as single-series SVG line charts
   with native ``<title>`` tooltips on every point;
+* stacked CPI bars for attributed runs (cycle-accounting records carry
+  their full component stack in the ledger), with a text breakdown of
+  the latest stack;
 * the latest recorded span tree with self-time bars;
 * the run table (the "table view" that backs every chart).
 
@@ -29,12 +32,16 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.obs.history import trend as _trend
 from repro.obs.prof.analyze import aggregate_stacks
 from repro.obs.sinks import TraceData
+from repro.simulator.attribution import COMPONENTS
 
 #: Runs shown in the report's run table (newest first).
 TABLE_LIMIT = 50
 
 #: Rows shown in the span-tree section.
 TREE_LIMIT = 60
+
+#: Stacked CPI bars shown in the cycle-accounting section (newest first).
+STACK_LIMIT = 8
 
 _CSS = """
 :root {
@@ -95,7 +102,36 @@ tr:nth-child(even) td { background: var(--surface-2); }
 .bar { display: inline-block; height: 10px; border-radius: 0 4px 4px 0;
        background: var(--series-1); vertical-align: baseline; }
 .note { color: var(--text-secondary); font-style: italic; }
+.stackbar { display: flex; height: 18px; border-radius: 4px;
+            overflow: hidden; margin: 2px 0 10px; }
+.stackbar .seg { height: 100%; }
+.legend { display: flex; gap: 10px; flex-wrap: wrap; margin: 8px 0;
+          font-size: 12px; color: var(--text-secondary); }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          border-radius: 2px; vertical-align: -1px; }
 """
+
+#: Mid-tone segment colors, one per CPI-stack component, legible on both
+#: the light and dark surfaces (values are always shown as text too, so
+#: color is never the only channel).
+_STACK_COLORS = {
+    "base": "#908f8a",
+    "icache": "#9dc3ec",
+    "btb_bubble": "#62a6e0",
+    "branch_redirect": "#2a78d6",
+    "rob": "#7a5cc5",
+    "iq": "#a489dd",
+    "lsq": "#c9b6ef",
+    "fu": "#3f9c6b",
+    "dep": "#87c7a2",
+    "store_forward": "#c7a22a",
+    "dl1": "#eb6834",
+    "l2": "#d03b3b",
+    "dram": "#8c1f1f",
+}
+
+#: Fallback segment color for components this palette does not know.
+_STACK_FALLBACK = "#6e6d68"
 
 
 def _esc(value: Any) -> str:
@@ -325,6 +361,96 @@ def _trace_tree(trace: Optional[TraceData]) -> str:
     return f'{caption}<table class="tree">{head}{"".join(rows)}</table>{omitted}'
 
 
+def _stack_runs(
+    runs: Sequence[Mapping[str, Any]],
+) -> List[Tuple[str, Dict[str, float], float]]:
+    """Stack-bearing runs, newest first, capped at :data:`STACK_LIMIT`.
+
+    Returns ``(label, components, total_cycles)`` rows; records whose
+    ``stack`` is missing, empty, or sums to zero are skipped.
+    """
+    rows: List[Tuple[str, Dict[str, float], float]] = []
+    for record in reversed(runs):
+        stack = record.get("stack")
+        if not isinstance(stack, Mapping):
+            continue
+        components = {
+            str(name): float(value) for name, value in stack.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        total = sum(components.values())
+        if total <= 0.0:
+            continue
+        what = record.get("benchmark") or record.get("command") or "?"
+        sha = (record.get("git_sha") or "?")[:8]
+        rows.append((f"{what} @ {sha}", components, total))
+        if len(rows) == STACK_LIMIT:
+            break
+    return rows
+
+
+def _stack_order(components: Mapping[str, float]) -> List[str]:
+    """Canonical attribution order first, then unknown keys sorted."""
+    known = [name for name in COMPONENTS if name in components]
+    extra = sorted(name for name in components if name not in set(COMPONENTS))
+    return known + extra
+
+
+def _stack_section(runs: Sequence[Mapping[str, Any]]) -> str:
+    """Stacked CPI bars for attributed runs, plus a text breakdown.
+
+    One horizontal stacked bar per stack-bearing ledger record (segment
+    widths are cycle shares, each with a ``title`` tooltip naming the
+    component), a color legend, and a table of the latest stack so every
+    value is available as text, not only as color.
+    """
+    rows = _stack_runs(runs)
+    if not rows:
+        return ('<p class="note">no attributed runs recorded yet — run '
+                "<code>repro stacks</code> to capture a CPI stack</p>")
+    seen: List[str] = []
+    for _, components, _ in rows:
+        for name in _stack_order(components):
+            if name not in seen and components.get(name, 0.0) > 0.0:
+                seen.append(name)
+    order = [n for n in COMPONENTS if n in seen] + \
+        [n for n in seen if n not in set(COMPONENTS)]
+    legend = "".join(
+        f'<span><span class="swatch" style="background: '
+        f'{_STACK_COLORS.get(name, _STACK_FALLBACK)}"></span> {_esc(name)}'
+        "</span>"
+        for name in order
+    )
+    bars: List[str] = []
+    for label, components, total in rows:
+        segs = "".join(
+            f'<span class="seg" style="width: '
+            f"{round(components[name] / total * 100.0, 2):g}%; background: "
+            f'{_STACK_COLORS.get(name, _STACK_FALLBACK)}" '
+            f'title="{_esc(name)}: {components[name]:g} cycles '
+            f'({components[name] / total * 100.0:.1f}%)"></span>'
+            for name in _stack_order(components)
+            if components[name] > 0.0
+        )
+        bars.append(f'<p class="meta">{_esc(label)} — {total:g} cycles</p>'
+                    f'<div class="stackbar">{segs}</div>')
+    latest_label, latest, latest_total = rows[0]
+    head = ('<tr><th>component</th><th class="num">cycles</th>'
+            '<th class="num">share</th></tr>')
+    cells = "".join(
+        "<tr>"
+        f"<td>{_esc(name)}</td>"
+        f'<td class="num">{latest[name]:g}</td>'
+        f'<td class="num">{latest[name] / latest_total * 100.0:.1f}%</td>'
+        "</tr>"
+        for name in _stack_order(latest)
+        if latest[name] > 0.0
+    )
+    table = (f'<p class="meta">latest stack: {_esc(latest_label)}</p>'
+             f"<table>{head}{cells}</table>")
+    return f'<div class="legend">{legend}</div>{"".join(bars)}{table}'
+
+
 def render_html(
     runs: Sequence[Mapping[str, Any]],
     trace: Optional[TraceData] = None,
@@ -359,6 +485,8 @@ def render_html(
         f"{error_chart}"
         "<h2>Bench wall time per run</h2>"
         f"{bench_chart}"
+        "<h2>CPI stacks (cycle accounting)</h2>"
+        f"{_stack_section(runs)}"
         "<h2>Latest trace</h2>"
         f"{_trace_tree(trace)}"
         "<h2>Run history</h2>"

@@ -69,6 +69,39 @@ def bench_simulator_cpi(ctx):
     return work
 
 
+@benchmark("sim/attribution", group="simulator", repeats=3, tolerance=5.0)
+def bench_attribution(ctx):
+    """Attributed simulation: cycle accounting on top of the OoO core.
+
+    Same workload as ``sim/end_to_end`` but with
+    ``collect_attribution=True``, so the delta between the two targets
+    bounds the overhead of per-instruction stall attribution.  The work
+    metadata hashes both the CPI and the folded stack, pinning the
+    attribution output itself, not just the timing result.
+    """
+    from repro.simulator.config import ProcessorConfig
+    from repro.simulator.simulator import Simulator
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec2000 import get_profile
+
+    length = ctx.scale(8192, 2048)
+    trace = generate_trace(get_profile("mcf"), length, seed=BENCH_SEED)
+    config = ProcessorConfig()
+
+    def work():
+        sim = Simulator(config)
+        result = sim.run(trace, collect_attribution=True)
+        stack = sim.last_core.attribution.stack()
+        return {
+            "instructions": int(result.instructions),
+            "cpi_hash": stable_hash(result.cpi),
+            "stack_hash": stable_hash(
+                sorted(stack.components.items())),
+        }
+
+    return work
+
+
 @benchmark("sim/cache_hierarchy", group="simulator", tolerance=5.0)
 def bench_cache_hierarchy(ctx):
     """Raw load-path traversal of the two-level cache hierarchy."""

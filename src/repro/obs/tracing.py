@@ -348,6 +348,20 @@ def set_gauge(name: str, value: float) -> None:
         collector.metrics.set_gauge(name, value)
 
 
+def record_event(kind: str, **fields: Any) -> Optional[Dict[str, Any]]:
+    """Append a structured event to the active trace, if any.
+
+    Module-level convenience over :meth:`Collector.record_event` (the
+    same channel stage failures and CPI-interval streams use); events are
+    persisted by ``obs.write_trace`` alongside spans and metrics.
+    Returns the recorded event, or ``None`` while tracing is off.
+    """
+    collector = current()
+    if collector is None:
+        return None
+    return collector.record_event(kind, **fields)
+
+
 def record_failure(stage: str, error: BaseException, **fields: Any) -> Dict[str, Any]:
     """Report a structured stage failure.
 

@@ -16,9 +16,25 @@ as a cycle loop but runs an order of magnitude faster in CPython, which is
 what makes the paper's ~4000-simulation experiment grid tractable.
 """
 
+from repro.simulator.attribution import (
+    COMPONENTS,
+    Attribution,
+    CPIStack,
+    IntervalRecord,
+)
 from repro.simulator.config import ProcessorConfig
 from repro.simulator.metrics import SimResult
 from repro.simulator.simulator import Simulator, simulate
 from repro.simulator.refsim import ReferenceSimulator
 
-__all__ = ["ProcessorConfig", "SimResult", "Simulator", "simulate", "ReferenceSimulator"]
+__all__ = [
+    "Attribution",
+    "COMPONENTS",
+    "CPIStack",
+    "IntervalRecord",
+    "ProcessorConfig",
+    "ReferenceSimulator",
+    "SimResult",
+    "Simulator",
+    "simulate",
+]

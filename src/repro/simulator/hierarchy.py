@@ -74,6 +74,10 @@ class MemoryHierarchy:
             if config.enable_tlb else None
         )
         self.prefetch_fills = 0
+        #: Level that serviced the most recent access routed through the
+        #: L1D/L2 path ("dl1", "l2" or "dram").  Cycle attribution reads
+        #: it immediately after :meth:`load`; it is only meaningful there.
+        self.last_level = "dl1"
 
     # -- internals ---------------------------------------------------------
 
@@ -104,8 +108,10 @@ class MemoryHierarchy:
     def _l2_access(self, addr: int, time: float, write: bool = False) -> float:
         """L2 lookup at ``time``; returns data-ready time."""
         if self.l2.access(addr, write=write):
+            self.last_level = "l2"
             return time + self.config.l2_lat
         self._drain_writeback(self.l2, time)
+        self.last_level = "dram"
         return self._l2_fill(addr, time + self.config.l2_lat)
 
     def _drain_writeback(self, cache: Cache, time: float) -> None:
@@ -153,6 +159,7 @@ class MemoryHierarchy:
         if self.stride is not None:
             self._prefetch_into_l2(self.stride.on_access(pc, addr), time)
         if self.dl1.access(addr):
+            self.last_level = "dl1"
             return time + self.config.dl1_lat
         self._drain_writeback(self.dl1, time)
         return self._l2_access(addr, time + self.config.dl1_lat)

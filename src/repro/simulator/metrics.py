@@ -10,7 +10,7 @@ independent implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -29,6 +29,10 @@ class SimResult:
     store_forward_rate: float = 0.0
     energy: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: CPI-stack cycle totals per component (attributed runs only; the
+    #: values sum bitwise-exactly to ``cycles``).  ``None`` when the run
+    #: did not collect attribution.
+    stack: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.instructions < 0:
@@ -61,4 +65,7 @@ class SimResult:
             "energy": self.energy,
         }
         out.update(self.extra)
+        if self.stack is not None:
+            for name, value in self.stack.items():
+                out[f"stack_{name}"] = value
         return out

@@ -33,6 +33,23 @@ from typing import List, Optional
 
 from repro import obs
 from repro.simulator import isa
+from repro.simulator.attribution import (
+    COMPONENTS,
+    TAG_BASE,
+    TAG_BTB,
+    TAG_DEP,
+    TAG_DL1,
+    TAG_DRAM,
+    TAG_FU,
+    TAG_ICACHE,
+    TAG_IQ,
+    TAG_L2,
+    TAG_LSQ,
+    TAG_REDIRECT,
+    TAG_ROB,
+    TAG_STORE_FORWARD,
+    Attribution,
+)
 from repro.simulator.branch import (
     PREDICT_BTB_MISS,
     PREDICT_MISPREDICT,
@@ -67,6 +84,7 @@ class OutOfOrderCore:
         self.branch_unit = BranchUnit(config)
         self.resources = ResourceSet(config)
         self.timeline: Optional[Timeline] = None
+        self.attribution: Optional[Attribution] = None
         self.forwarded_loads = 0
         self.load_count = 0
 
@@ -95,6 +113,7 @@ class OutOfOrderCore:
         trace: Trace,
         collect_timeline: bool = False,
         warmup: Optional[int] = None,
+        collect_attribution: bool = False,
     ) -> SimResult:
         """Simulate ``trace`` to completion and return the results.
 
@@ -109,10 +128,36 @@ class OutOfOrderCore:
             and event rates (caches and predictors warm during them).
             Defaults to one eighth of the trace; pass 0 to measure from a
             cold machine.
+        collect_attribution:
+            Tag each committed instruction with the binding constraint on
+            its commit gap and fold the tags into a CPI stack (see
+            :mod:`repro.simulator.attribution`); raw tags land in
+            :attr:`attribution`, the folded stack in the result's
+            ``stack`` field.  Off by default; the untagged path is
+            bitwise-identical with the flag off.
         """
         n = len(trace)
         if n == 0:
-            return SimResult(cpi=0.0, cycles=0.0, instructions=0)
+            # Keep the result shape consistent with a non-empty run: the
+            # event-count extras exist (at zero) and, when attribution was
+            # requested, so does an all-zero stack.
+            if collect_timeline:
+                self.timeline = Timeline([], [], [], [], [])
+            return SimResult(
+                cpi=0.0,
+                cycles=0.0,
+                instructions=0,
+                extra={
+                    "il1_accesses": 0.0,
+                    "dl1_accesses": 0.0,
+                    "l2_accesses": 0.0,
+                    "memory_requests": 0.0,
+                },
+                stack=(
+                    {name: 0.0 for name in COMPONENTS}
+                    if collect_attribution else None
+                ),
+            )
         if warmup is None:
             warmup = n // 8
         if warmup >= n:
@@ -154,6 +199,20 @@ class OutOfOrderCore:
         if collect_timeline:
             tl = Timeline([], [], [], [], [])
 
+        # Cycle-attribution state.  ``fetch_tag`` explains the current
+        # value of ``fetch_cycle`` (base advance, I-cache stall, redirect
+        # or BTB bubble); ``redirect_pending`` marks the refill window
+        # after a front-end restart so the I-cache miss it forces stays
+        # attributed to the redirect.  The plain state assignments below
+        # run unconditionally (cheap stores, no numerics); everything
+        # with per-instruction cost is gated on ``collect_attribution``.
+        fetch_tag = TAG_BASE
+        redirect_pending = False
+        if collect_attribution:
+            attr_tags: List[int] = []
+            exec_level = [0] * n
+            level_tag = {"dl1": TAG_DL1, "l2": TAG_L2, "dram": TAG_DRAM}
+
         # Per-trace invariants: the decoded columns and per-instruction
         # L1I line ids are identical at every design point of a sweep, so
         # they are memoised on the trace rather than recomputed per run.
@@ -167,6 +226,8 @@ class OutOfOrderCore:
             if slots >= fetch_width:
                 fetch_cycle += 1.0
                 slots = 0
+                fetch_tag = TAG_BASE
+                redirect_pending = False
             if line != cur_line:
                 cur_line = line
                 if not perfect_icache:
@@ -174,7 +235,11 @@ class OutOfOrderCore:
                     if ready > fetch_cycle:
                         fetch_cycle = ready
                         slots = 0
+                        if not redirect_pending:
+                            fetch_tag = TAG_ICACHE
+                    redirect_pending = False
             fetch_time = fetch_cycle
+            cause_fetch = fetch_tag
             slots += 1
 
             # ---- dispatch (ROB / IQ / LSQ allocation) ----------------------
@@ -207,17 +272,22 @@ class OutOfOrderCore:
             issue_at[i] = start
 
             # ---- execute ----------------------------------------------------
+            exec_tag = TAG_DEP
             if op == load_op:
                 self.load_count += 1
                 fwd = store_buf.get(addr)
                 if perfect_dcache:
                     comp = start + dl1_lat
+                    exec_tag = TAG_DL1
                 elif fwd is not None and mem_count - fwd[0] <= lsq:
                     # Store-to-load forwarding within the LSQ window.
                     comp = (start if start >= fwd[1] else fwd[1]) + 1.0
                     self.forwarded_loads += 1
+                    exec_tag = TAG_STORE_FORWARD
                 else:
                     comp = hier.load(addr, start, pc)
+                    if collect_attribution:
+                        exec_tag = level_tag[hier.last_level]
             elif op == store_op:
                 comp = start + 1.0  # address generation; data drains post-commit
                 store_buf[addr] = (mem_count, comp)
@@ -237,6 +307,8 @@ class OutOfOrderCore:
                     # Redirect: fetch restarts when the branch resolves.
                     if comp > fetch_cycle:
                         fetch_cycle = comp
+                        fetch_tag = TAG_REDIRECT
+                        redirect_pending = True
                     slots = 0
                     cur_line = -1
                 elif outcome == PREDICT_BTB_MISS:
@@ -244,6 +316,8 @@ class OutOfOrderCore:
                     fetch_cycle = fetch_time + 2.0
                     slots = 0
                     cur_line = -1
+                    fetch_tag = TAG_BTB
+                    redirect_pending = True
 
             # ---- commit (in order, width-limited) -----------------------
             c = comp + 1.0
@@ -252,6 +326,67 @@ class OutOfOrderCore:
             if i >= commit_width and commit[i - commit_width] + 1.0 > c:
                 c = commit[i - commit_width] + 1.0
             commit[i] = c
+            if collect_attribution:
+                # Binding-constraint descent: re-derive which candidate of
+                # each max-of-candidates above actually produced its stage
+                # time (same values, same strict-> tie-breaks), walking
+                # commit -> completion -> FU -> operands -> dispatch ->
+                # front end until the binding constraint names a component.
+                # ``mem_count`` is still pre-increment here, so the LSQ
+                # candidate recomputes exactly as at dispatch.
+                exec_level[i] = exec_tag
+                prev_c = commit[i - 1] if i > 0 else 0.0
+                if c == prev_c:
+                    tag = TAG_BASE  # zero-width gap: fully hidden
+                else:
+                    cand = comp + 1.0
+                    width_bound = (
+                        i >= commit_width and commit[i - commit_width] + 1.0 > cand
+                    )
+                    # Execution service *visible inside the gap*: the part
+                    # of (start, comp] past the previous commit.  Using the
+                    # visible portion (not raw latency) keeps back-pressured
+                    # single-cycle ops — whose start is already behind
+                    # prev_c — descending to the true structural cause.
+                    wait = start - prev_c
+                    served = comp - (start if wait > 0.0 else prev_c)
+                    if width_bound:
+                        tag = TAG_BASE  # smooth commit-width-limited flow
+                    elif served > 0.0 and served >= wait:
+                        # Execution latency dominates the gap: the
+                        # instruction's own service time.
+                        tag = exec_tag
+                    elif start > issue:
+                        tag = TAG_FU
+                    else:
+                        prod = -1
+                        icand = dispatch + 1.0
+                        if s1 and complete[i - s1] > icand:
+                            icand = complete[i - s1]
+                            prod = i - s1
+                        if s2 and complete[i - s2] > icand:
+                            icand = complete[i - s2]
+                            prod = i - s2
+                        if prod >= 0:
+                            # Operand-bound: blame the producer's own
+                            # execution (memory level for loads, else dep).
+                            tag = exec_level[prod]
+                        else:
+                            tag = cause_fetch
+                            dcand = fetch_time + front
+                            if i >= rob and commit[i - rob] + 1.0 > dcand:
+                                dcand = commit[i - rob] + 1.0
+                                tag = TAG_ROB
+                            if i >= iq and issue_at[i - iq] + 1.0 > dcand:
+                                dcand = issue_at[i - iq] + 1.0
+                                tag = TAG_IQ
+                            if (
+                                is_mem
+                                and mem_count >= lsq
+                                and mem_commit[mem_count - lsq] + 1.0 > dcand
+                            ):
+                                tag = TAG_LSQ
+                attr_tags.append(tag)
             if is_mem:
                 mem_commit.append(c)
                 mem_count += 1
@@ -272,6 +407,16 @@ class OutOfOrderCore:
         if collect_timeline:
             self.timeline = tl
 
+        stack = None
+        if collect_attribution:
+            self.attribution = Attribution(
+                tags=attr_tags,
+                commit=commit,
+                warmup=warmup,
+                warm_commit=warm_commit,
+            )
+            stack = self.attribution.stack().as_dict()
+
         # Measured region: everything after the warmup boundary.
         assert warm_counters is not None
         end = self._counters()
@@ -291,6 +436,10 @@ class OutOfOrderCore:
             obs.inc("sim/cycles", cycles)
             if cycles > 0:
                 obs.observe("sim/ipc", measured_instr / cycles)
+            if stack is not None:
+                for name, value in stack.items():
+                    if value:
+                        obs.inc(f"sim/stack/{name}", value)
         return SimResult(
             cpi=cycles / measured_instr,
             cycles=cycles,
@@ -309,4 +458,5 @@ class OutOfOrderCore:
                 "l2_accesses": float(delta["l2_acc"]),
                 "memory_requests": float(delta["mem_req"]),
             },
+            stack=stack,
         )

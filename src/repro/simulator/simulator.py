@@ -23,18 +23,38 @@ class Simulator:
     def __init__(self, config: ProcessorConfig):
         self.config = config
 
-    def run(self, trace: Trace, collect_timeline: bool = False) -> SimResult:
-        """Simulate ``trace`` to completion on this configuration."""
+    def run(
+        self,
+        trace: Trace,
+        collect_timeline: bool = False,
+        collect_attribution: bool = False,
+    ) -> SimResult:
+        """Simulate ``trace`` to completion on this configuration.
+
+        ``collect_attribution`` enables cycle accounting: the result's
+        ``stack`` field carries the folded CPI stack and
+        ``last_core.attribution`` the raw per-instruction tags (see
+        :mod:`repro.simulator.attribution`).  Like ``collect_timeline``
+        it is opt-in, and leaving it off perturbs nothing.
+        """
         core = OutOfOrderCore(self.config)
         if not obs.enabled():
-            result = core.run(trace, collect_timeline=collect_timeline)
+            result = core.run(
+                trace,
+                collect_timeline=collect_timeline,
+                collect_attribution=collect_attribution,
+            )
             self.last_core = core
             return result
         # Traced path: identical computation, plus a span and throughput
         # metrics.  Timing never feeds back into the simulation.
         with obs.span("simulate", instructions=len(trace)) as sp:
             start = obs.monotonic()
-            result = core.run(trace, collect_timeline=collect_timeline)
+            result = core.run(
+                trace,
+                collect_timeline=collect_timeline,
+                collect_attribution=collect_attribution,
+            )
             elapsed = obs.monotonic() - start
             sp.set(cycles=result.cycles, cpi=result.cpi)
             obs.observe("simulate/wall_s", elapsed)

@@ -59,6 +59,43 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["simulate", "gcc"])
 
+    def test_stacks_prints_exact_table(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(["stacks", "mcf", "--trace-length", "512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPI stacks" in out
+        for component in ("base", "branch_redirect", "dram", "total"):
+            assert component in out
+
+    def test_stacks_json_sweep_and_intervals(self, capsys, tmp_path,
+                                             monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        intervals_path = tmp_path / "iv.jsonl"
+        code = main([
+            "stacks", "twolf", "pipe_depth=7,24", "--trace-length", "512",
+            "--interval", "128", "--intervals", str(intervals_path),
+            "--json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "twolf"
+        assert set(doc["stacks"]) == {"pipe_depth=7", "pipe_depth=24"}
+        for stack in doc["stacks"].values():
+            assert sum(stack["components"].values()) == stack["cycles"]
+        # One interval stream per swept configuration.
+        from repro.simulator.attribution import read_intervals_jsonl
+
+        written = sorted(tmp_path.glob("iv*.jsonl"))
+        assert len(written) == 2
+        header, records = read_intervals_jsonl(written[0])
+        assert header["kind"] == "cpi_intervals"
+        # Intervals tile the measured (post-warmup) region of the run.
+        measured = doc["stacks"]["pipe_depth=7"]["instructions"]
+        assert sum(r.instructions for r in records) == measured
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -382,8 +382,36 @@ class TestHtmlReport:
     def test_empty_ledger_and_no_trace_degrade_gracefully(self):
         html = history.render_html([])
         assert "0" in html and "no trace recorded" in html
+        assert "no attributed runs recorded" in html
         for token in FETCH_TOKENS:
             assert token not in html, token
+
+    def test_stack_section_renders_bars_and_text_values(self):
+        runs = synthetic_runs()
+        runs.append(make_run(
+            "stacks", benchmark="mcf", git_sha="abc123def",
+            stack_mem_frac=0.8, stack_frontend_frac=0.1,
+            stack={"base": 10.0, "branch_redirect": 5.0, "dram": 85.0}))
+        html = history.render_html(runs)
+        assert "CPI stacks (cycle accounting)" in html
+        assert 'class="stackbar"' in html
+        # Segment widths are cycle shares; values appear as text too
+        # (tooltip + table), never color alone.
+        assert "width: 85%" in html
+        assert "dram: 85 cycles (85.0%)" in html
+        assert "mcf @ abc123de" in html
+        assert "85.0%" in html  # table share column
+        # Deterministic like the rest of the report.
+        assert html == history.render_html(runs)
+
+    def test_stack_section_skips_empty_and_malformed_stacks(self):
+        runs = [
+            make_run("stacks", stack={}),
+            make_run("stacks", stack={"base": 0.0}),
+            make_run("stacks", stack="not-a-mapping"),
+        ]
+        html = history.render_html(runs)
+        assert "no attributed runs recorded" in html
 
 
 # -- CLI --------------------------------------------------------------------
