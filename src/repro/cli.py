@@ -47,7 +47,16 @@ Commands
     JSON, ``trend`` a numeric field as a sparkline + table, and
     ``check`` the latest run against comparable history with a robust
     MAD-based outlier test (non-zero exit on anomaly — the cross-run
-    drift gate).
+    drift gate).  ``trend --json`` emits the schema-versioned
+    machine-readable document instead of the table.
+``models``
+    Query the model registry (``results/models``; see
+    :mod:`repro.models.registry`): ``list`` registered fits, ``show``
+    one index entry as JSON, ``card`` a fit's model card, ``diff`` two
+    fits on the fixed probe grid, and ``check`` the latest fit against
+    its registry predecessor — or a committed probe baseline
+    (``--baseline``) — exiting non-zero on MAD-style prediction drift
+    (the model-quality gate next to ``history check``).
 ``bench``
     Run the registered hot-path benchmarks (see
     :mod:`repro.obs.prof.targets`), print the results table, and write a
@@ -321,6 +330,72 @@ def _resolve_benchmark(args: argparse.Namespace) -> str:
     return name
 
 
+def _register_build(result, *, benchmark: str, space, stats: dict,
+                    seed: int) -> Optional[dict]:
+    """Calibrate, card, and register a fresh ``repro build`` fit.
+
+    Pure observation: calibration attaches residual quantiles and the
+    training hull to the already-fitted network (its weights and
+    predictions are untouched), the cross-validation error reuses the
+    existing sample (no new simulations), and registration only writes
+    files.  Returns the ledger extras (``model_sha`` etc.), or ``None``
+    with a stderr warning when the registry is unwritable — a build must
+    never fail because bookkeeping did.
+    """
+    from repro.core.crossval import loo_rbf_error
+    from repro.models.registry import ModelRegistry
+    from repro.obs.modelcard import (build_card, created_timestamp,
+                                     selection_summary)
+
+    model = result.model
+    model.calibrate(result.unit_points, result.responses)
+    cv_report, _ = loo_rbf_error(result.unit_points, result.responses, model)
+    now = created_timestamp()
+    card = build_card(
+        family="rbf",
+        benchmark=benchmark,
+        sample_size=result.sample_size,
+        seed=seed,
+        diagnostics=model.diagnostics(),
+        selection=selection_summary(result.search),
+        holdout=result.errors,
+        cv=cv_report,
+        uncertainty=model.uncertainty.as_dict(),
+        cost={"simulations_run": stats["simulations_run"],
+              "cache_hits": stats["cache_hits"],
+              "wall_time_s": round(stats["wall_time_s"], 6),
+              "jobs": stats["jobs"]},
+        design_space_hash=obs.design_space_hash(space),
+        created=now,
+    )
+    try:
+        registry = ModelRegistry()
+        entry = registry.register(
+            model,
+            benchmark=benchmark,
+            sample_size=result.sample_size,
+            seed=seed,
+            design_space_hash=obs.design_space_hash(space),
+            git_sha=card["git_sha"],
+            parameter_names=[p.name for p in space.parameters],
+            metadata={"benchmark": benchmark,
+                      "sample_size": result.sample_size, "seed": seed},
+            card=card,
+            mean_error_pct=result.errors.mean if result.errors else None,
+            now=now,
+        )
+    except OSError as exc:
+        print(f"[warning: model registration failed: {exc}]",
+              file=sys.stderr)
+        return None
+    print(f"[model {entry.sha} registered as {benchmark}/rbf/"
+          f"n={entry.sample_size} v{entry.version} in {registry.root}]")
+    return {"model_sha": entry.sha,
+            "model_version": entry.version,
+            "model_card": entry.card,
+            "model_family": entry.family}
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     """``repro build``: run BuildRBFmodel and print the validation report."""
     benchmark = _resolve_benchmark(args)
@@ -348,6 +423,18 @@ def cmd_build(args: argparse.Namespace) -> int:
     print(f"workers        : {stats['jobs']}")
     print(f"sim wall time  : {stats['wall_time_s']:.2f}s")
     assert result.errors is not None
+    model_extra = None
+    if not args.no_register:
+        model_extra = _register_build(
+            result, benchmark=benchmark, space=space, stats=stats,
+            seed=args.seed)
+    extra = {"benchmark": benchmark,
+             "p_min": result.info.p_min,
+             "alpha": result.info.alpha,
+             "num_centers": result.info.num_centers,
+             "mean_error_pct": result.errors.mean}
+    if model_extra:
+        extra.update(model_extra)
     _write_run_manifest(
         "build", args,
         seed=args.seed,
@@ -358,11 +445,7 @@ def cmd_build(args: argparse.Namespace) -> int:
         metrics=runner.metrics.snapshot(),
         wall_time_s=wall,
         jobs=stats["jobs"],
-        extra={"benchmark": benchmark,
-               "p_min": result.info.p_min,
-               "alpha": result.info.alpha,
-               "num_centers": result.info.num_centers,
-               "mean_error_pct": result.errors.mean},
+        extra=extra,
     )
     return 0
 
@@ -514,12 +597,24 @@ def cmd_history_show(args: argparse.Namespace) -> int:
 
 
 def cmd_history_trend(args: argparse.Namespace) -> int:
-    """``repro history trend``: sparkline + table of one numeric field."""
+    """``repro history trend``: sparkline + table of one numeric field.
+
+    ``--json`` emits the schema-versioned machine-readable document
+    instead (sorted keys, like ``trace summary --json``), so scripts can
+    consume model-error trends without scraping the table.
+    """
+    import json
+
     from repro.obs import history
 
     runs = [r for r in _load_runs_or_exit(args.path)
             if _matches_filters(r, args)]
     points = history.series(runs, args.field, x_field=args.x)
+    if args.json:
+        print(json.dumps(history.trend_document(points, args.field,
+                                                x_field=args.x),
+                         indent=2, sort_keys=True))
+        return 0
     if len(points) < 2:
         raise SystemExit(
             f"not enough data: trend over {args.field!r} needs at least 2 "
@@ -545,6 +640,188 @@ def cmd_history_check(args: argparse.Namespace) -> int:
     prior = history.comparable_history(runs, latest)
     print(f"[history check passed: latest {latest.get('command')!r} run "
           f"within norms of {len(prior)} comparable run(s)]")
+    return 0
+
+
+def _registry_or_exit(args: argparse.Namespace):
+    """The model registry at ``--registry`` (default: results/models)."""
+    from repro.models.registry import ModelRegistry
+
+    root = getattr(args, "registry", None)
+    return ModelRegistry(root) if root else ModelRegistry()
+
+
+def _entries_or_exit(registry) -> list:
+    """All registry entries, or exit 1 when nothing was ever registered."""
+    entries = registry.entries()
+    if not entries:
+        raise SystemExit(
+            f"empty model registry: {registry.index_path} has no entries "
+            f"(run `repro build` to register a fit)")
+    return entries
+
+
+def _find_entry_or_exit(registry, selector: Optional[str]):
+    """Resolve a ``models`` selector (sha prefix / benchmark / latest)."""
+    entries = _entries_or_exit(registry)
+    if not selector:
+        return entries[-1]
+    entry = registry.find(selector)
+    if entry is None:
+        raise SystemExit(
+            f"no registered model matches {selector!r} "
+            f"(a sha prefix or benchmark name; see `repro models list`)")
+    return entry
+
+
+def cmd_models_list(args: argparse.Namespace) -> int:
+    """``repro models list``: the registry index as a table."""
+    registry = _registry_or_exit(args)
+    entries = [e for e in _entries_or_exit(registry)
+               if (not args.benchmark or e.benchmark == args.benchmark)
+               and (not args.family or e.family == args.family)]
+    if not entries:
+        print("no registered models match the given filters")
+        return 0
+    rows = [
+        (e.sha[:12],
+         str(e.benchmark or "-"),
+         e.family,
+         _cell(e.sample_size, "{:g}"),
+         f"v{e.version}",
+         _cell(e.mean_error_pct, "{:.3g}"),
+         str(e.created or "-")[:19],
+         str(e.git_sha or "-")[:8])
+        for e in entries
+    ]
+    print(format_table(
+        ["sha", "benchmark", "family", "sample", "ver", "err%", "created",
+         "git"],
+        rows, title=f"Model registry ({len(entries)} entr(ies) in "
+                    f"{registry.root})"))
+    return 0
+
+
+def cmd_models_show(args: argparse.Namespace) -> int:
+    """``repro models show``: one index entry as JSON (default: latest)."""
+    import json
+
+    registry = _registry_or_exit(args)
+    entry = _find_entry_or_exit(registry, args.selector)
+    print(json.dumps(entry.as_record(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_models_card(args: argparse.Namespace) -> int:
+    """``repro models card``: render a registered model's card."""
+    import json
+
+    from repro.obs.modelcard import render_card
+
+    registry = _registry_or_exit(args)
+    entry = _find_entry_or_exit(registry, args.selector)
+    try:
+        card = registry.card(entry)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read model card: {exc}")
+    if args.json:
+        print(json.dumps(card, indent=2, sort_keys=True))
+    else:
+        print(render_card(card))
+    return 0
+
+
+def cmd_models_diff(args: argparse.Namespace) -> int:
+    """``repro models diff``: compare two fits on the probe grid."""
+    from repro.models.registry import drift_report, probe_predictions
+
+    registry = _registry_or_exit(args)
+    entry_a = _find_entry_or_exit(registry, args.old)
+    entry_b = _find_entry_or_exit(registry, args.new)
+    try:
+        model_a, _, _ = registry.load(entry_a)
+        model_b, _, _ = registry.load(entry_b)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load registered model: {exc}")
+    if getattr(model_a, "dimension", None) != getattr(model_b, "dimension",
+                                                      None):
+        raise SystemExit(
+            f"models are not comparable: dimensions "
+            f"{getattr(model_a, 'dimension', '?')} vs "
+            f"{getattr(model_b, 'dimension', '?')}")
+    report = drift_report(probe_predictions(model_a),
+                          probe_predictions(model_b), tolerance=args.tol)
+    print(f"diff {entry_a.sha[:12]} (v{entry_a.version}) -> "
+          f"{entry_b.sha[:12]} (v{entry_b.version}) on "
+          f"{report['points']} probe point(s)")
+    for key in ("median_abs_diff", "max_abs_diff", "score", "max_score"):
+        print(f"  {key:16} {report[key]:.6g}")
+    for label, entry in (("old", entry_a), ("new", entry_b)):
+        if entry.mean_error_pct is not None:
+            print(f"  {label + ' mean err':16} {entry.mean_error_pct:.4g}%")
+    return 0
+
+
+def cmd_models_check(args: argparse.Namespace) -> int:
+    """``repro models check``: drift-gate the latest fit (exit 1 on drift).
+
+    With ``--baseline`` the latest registered model is compared against a
+    committed probe-baseline document (the CI mode: the baseline outlives
+    the registry); otherwise against its registry predecessor in the same
+    benchmark × family × sample-size lineage.  ``--write-baseline``
+    (re)writes the baseline document from the resolved model instead.
+    """
+    from repro.models import registry as _registry
+
+    registry = _registry_or_exit(args)
+    entry = _find_entry_or_exit(registry, args.selector)
+    try:
+        model, _, _ = registry.load(entry)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load registered model: {exc}")
+
+    if args.write_baseline:
+        document = _registry.baseline_document(
+            model, benchmark=entry.benchmark, sample_size=entry.sample_size,
+            seed=entry.seed)
+        path = _registry.write_baseline(document, args.write_baseline)
+        print(f"[probe baseline for {entry.sha[:12]} written to {path}]")
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = _registry.read_baseline(args.baseline)
+        except OSError as exc:
+            raise SystemExit(f"cannot read probe baseline: {exc}")
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        report = _registry.check_against_baseline(model, baseline,
+                                                  tolerance=args.tol)
+        against = f"baseline {args.baseline}"
+    else:
+        predecessor = registry.predecessor(entry)
+        if predecessor is None:
+            print(f"[model check passed trivially: {entry.sha[:12]} "
+                  f"(v{entry.version}) has no registry predecessor]")
+            return 0
+        try:
+            previous, _, _ = registry.load(predecessor)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load predecessor model: {exc}")
+        report = _registry.drift_report(
+            _registry.probe_predictions(previous),
+            _registry.probe_predictions(model), tolerance=args.tol)
+        against = f"predecessor {predecessor.sha[:12]} (v{predecessor.version})"
+
+    if report["drifted"]:
+        print(f"DRIFT: {entry.sha[:12]} (v{entry.version}) vs {against}: "
+              f"median score {report['score']:.4g} > tolerance "
+              f"{report['tolerance']:g} over {report['points']} probe "
+              f"point(s) (max score {report['max_score']:.4g})")
+        return 1
+    print(f"[model check passed: {entry.sha[:12]} (v{entry.version}) vs "
+          f"{against}: median score {report['score']:.4g} <= "
+          f"{report['tolerance']:g} over {report['points']} probe point(s)]")
     return 0
 
 
@@ -776,6 +1053,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--jobs", type=int, default=None,
                          help="worker processes for uncached simulations "
                               "(default: $REPRO_JOBS, else serial)")
+    p_build.add_argument("--no-register", action="store_true",
+                         help="skip registering the fitted model and its "
+                              "card in results/models")
     p_build.set_defaults(func=cmd_build)
 
     p_exp = sub.add_parser("experiments", parents=[traced],
@@ -873,6 +1153,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_htrend.add_argument("--x", default=None, metavar="FIELD",
                           help="x-axis field (default: ledger index), "
                                "e.g. sample_size")
+    p_htrend.add_argument("--json", action="store_true",
+                          help="emit the machine-readable trend document "
+                               "(schema v1, sorted keys) instead of the "
+                               "table")
     p_htrend.set_defaults(func=cmd_history_trend)
     p_hcheck = hist_sub.add_parser(
         "check", parents=[hist_common],
@@ -886,6 +1170,67 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comparable prior runs required before the "
                                f"check can fire (default {MIN_HISTORY})")
     p_hcheck.set_defaults(func=cmd_history_check)
+
+    from repro.models.registry import DRIFT_TOLERANCE
+
+    p_models = sub.add_parser(
+        "models", help="query the model registry (results/models)"
+    )
+    models_common = argparse.ArgumentParser(add_help=False)
+    models_common.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="registry root (default: results/models)")
+    models_sub = p_models.add_subparsers(dest="models_command", required=True)
+    p_mlist = models_sub.add_parser(
+        "list", parents=[models_common], help="list registered models")
+    p_mlist.add_argument("--benchmark", default=None,
+                         help="only models of this benchmark")
+    p_mlist.add_argument("--family", default=None,
+                         help="only models of this family (rbf, linear, ...)")
+    p_mlist.set_defaults(func=cmd_models_list)
+    p_mshow = models_sub.add_parser(
+        "show", parents=[models_common],
+        help="print one registry entry as JSON")
+    p_mshow.add_argument("selector", nargs="?", default=None,
+                         help="sha prefix or benchmark (default: latest)")
+    p_mshow.set_defaults(func=cmd_models_show)
+    p_mcard = models_sub.add_parser(
+        "card", parents=[models_common],
+        help="render a registered model's card")
+    p_mcard.add_argument("selector", nargs="?", default=None,
+                         help="sha prefix or benchmark (default: latest)")
+    p_mcard.add_argument("--json", action="store_true",
+                         help="emit the raw card JSON instead of the "
+                              "rendering")
+    p_mcard.set_defaults(func=cmd_models_card)
+    p_mdiff = models_sub.add_parser(
+        "diff", parents=[models_common],
+        help="compare two registered fits on the fixed probe grid")
+    p_mdiff.add_argument("old", help="sha prefix or benchmark of the "
+                                     "reference model")
+    p_mdiff.add_argument("new", help="sha prefix or benchmark of the model "
+                                     "under scrutiny")
+    p_mdiff.add_argument("--tol", type=float, default=DRIFT_TOLERANCE,
+                         help="MAD-style drift tolerance "
+                              f"(default {DRIFT_TOLERANCE:g})")
+    p_mdiff.set_defaults(func=cmd_models_diff)
+    p_mcheck = models_sub.add_parser(
+        "check", parents=[models_common],
+        help="drift-gate the latest fit against its predecessor or a "
+             "committed probe baseline (exits 1 on drift)")
+    p_mcheck.add_argument("selector", nargs="?", default=None,
+                          help="sha prefix or benchmark (default: latest)")
+    p_mcheck.add_argument("--baseline", default=None, metavar="PATH",
+                          help="compare against this committed probe "
+                               "baseline instead of the registry "
+                               "predecessor")
+    p_mcheck.add_argument("--write-baseline", default=None, metavar="PATH",
+                          help="write the probe baseline for the resolved "
+                               "model and exit")
+    p_mcheck.add_argument("--tol", type=float, default=DRIFT_TOLERANCE,
+                          help="MAD-style drift tolerance "
+                               f"(default {DRIFT_TOLERANCE:g})")
+    p_mcheck.set_defaults(func=cmd_models_check)
 
     p_perf = sub.add_parser(
         "bench", parents=[traced],
@@ -927,7 +1272,7 @@ def _trace_destination(args: argparse.Namespace) -> Optional[Path]:
     ``--trace`` wins over the environment; ``REPRO_TRACE`` set to ``1`` /
     ``true`` / empty selects the default path, anything else is the path.
     """
-    if args.command in ("trace", "lint", "history"):
+    if args.command in ("trace", "lint", "history", "models"):
         return None
     spec = getattr(args, "trace", None)
     if spec is None:

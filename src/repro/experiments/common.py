@@ -124,12 +124,20 @@ def builder(benchmark: str) -> BuildRBFModel:
 
 
 def rbf_model(benchmark: str, sample_size: int) -> ModelBuildResult:
-    """Memoised RBF model (with test-set error report) for one benchmark/size."""
+    """Memoised RBF model (with test-set error report) for one benchmark/size.
+
+    The returned network is calibrated on its own training sample, so
+    exhibits may call :meth:`~repro.models.base.Model.predict_with_provenance`
+    directly; calibration only attaches an uncertainty record — predictions
+    stay bitwise identical to the uncalibrated fit.
+    """
     key = (benchmark, sample_size)
     if key not in _models:
         phys, cpi = test_set(benchmark)
         with stage("rbf_model", benchmark=benchmark, sample_size=sample_size):
-            _models[key] = builder(benchmark).build(sample_size, phys, cpi)
+            result = builder(benchmark).build(sample_size, phys, cpi)
+            result.network.calibrate(result.unit_points, result.responses)
+            _models[key] = result
     return _models[key]
 
 

@@ -1,5 +1,5 @@
-"""Observability rules: OBS001 (no bare ``print``) and OBS002 (no raw
-wall clocks) in library code.
+"""Observability rules: OBS001 (no bare ``print``), OBS002 (no raw wall
+clocks) and OBS003 (no raw artifact serialisation) in library code.
 
 Library modules that ``print`` bypass the observability layer: the output
 cannot be captured into traces, silenced in workers, or redirected by the
@@ -20,6 +20,16 @@ The CLI front-ends (any ``cli.py``), the lint text reporter
 (``repro/obs/``) are the designated console owners and are exempt from
 OBS001; only ``repro/obs/`` — where the seam is implemented — may touch
 the raw clock under OBS002.
+
+OBS003 extends the same seam argument to *artifact writes*: a library
+module that calls ``pickle.dump``, ``np.save``/``savez`` or
+``joblib.dump`` directly produces anonymous binary files with no format
+version, no provenance, and no registry entry — exactly the artifacts the
+model registry exists to replace.  Model persistence goes through
+:mod:`repro.models.io` (and registration through
+:mod:`repro.models.registry`); simulator trace archives go through
+:mod:`repro.simulator.trace_io`.  Those three modules are the designated
+serialisation seams and the only library code exempt from OBS003.
 """
 
 from __future__ import annotations
@@ -132,5 +142,82 @@ class NoRawClockRule(VisitorRule):
                     f"importing {', '.join(clocks)} from time in library "
                     "code; use repro.obs.monotonic() so tests and traces "
                     "control the clock",
+                )
+        self.generic_visit(node)
+
+
+#: Raw-serialisation call chains OBS003 forbids, per module alias.  The
+#: ``numpy`` entry also matches the conventional ``np`` alias.
+_RAW_SERIALISERS = {
+    "pickle": ("dump", "dumps"),
+    "numpy": ("save", "savez", "savez_compressed"),
+    "np": ("save", "savez", "savez_compressed"),
+    "joblib": ("dump",),
+}
+
+#: ``repro``-relative suffixes of the designated serialisation seams.
+_SERIALISATION_SEAMS = (
+    ("models", "io.py"),        # versioned model persistence
+    ("models", "registry.py"),  # content-addressed registration
+    ("simulator", "trace_io.py"),  # compressed trace archives
+)
+
+
+def _serialisation_exempt(path: str) -> bool:
+    """Whether ``path`` may serialise raw artifacts: not library code,
+    or one of the designated seams listed in the module docstring."""
+    parts = PurePath(path).parts
+    if "repro" not in parts:
+        return True  # benchmarks/examples/tests write scratch files freely
+    return any(
+        len(parts) >= len(seam) and parts[-len(seam):] == seam
+        for seam in _SERIALISATION_SEAMS
+    )
+
+
+@register
+class NoRawSerialisationRule(VisitorRule):
+    """Forbid raw artifact serialisation in ``repro`` library modules."""
+
+    id = "OBS003"
+    title = "raw artifact serialisation in library code bypasses the registry"
+    rationale = (
+        "pickle.dump/np.save/joblib.dump in repro/ library modules produce "
+        "anonymous artifacts with no format version, provenance, or "
+        "registry entry; persist models through repro.models.io (and "
+        "register through repro.models.registry), traces through "
+        "repro.simulator.trace_io — the designated serialisation seams."
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        if _serialisation_exempt(ctx.path):
+            return []
+        return super().check_file(ctx)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = attribute_chain(node.func)
+        if chain and len(chain) == 2 and chain[1] in \
+                _RAW_SERIALISERS.get(chain[0], ()):
+            self.report(
+                node,
+                f"{chain[0]}.{chain[1]}() in library code; write artifacts "
+                "through repro.models.io / repro.models.registry / "
+                "repro.simulator.trace_io",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module in ("pickle", "numpy", "joblib"):
+            forbidden = sorted(
+                alias.name for alias in node.names
+                if alias.name in _RAW_SERIALISERS[node.module]
+            )
+            if forbidden:
+                self.report(
+                    node,
+                    f"importing {', '.join(forbidden)} from {node.module} "
+                    "in library code; write artifacts through "
+                    "repro.models.io / repro.models.registry / "
+                    "repro.simulator.trace_io",
                 )
         self.generic_visit(node)

@@ -1,6 +1,6 @@
 """Empirical performance models: regression trees, RBF networks, linear baseline."""
 
-from repro.models.base import Model
+from repro.models.base import Model, Provenance, Uncertainty
 from repro.models.mlp import MLPModel
 from repro.models.spline import SplineModel
 from repro.models.linear import LinearInteractionModel
@@ -10,6 +10,8 @@ from repro.models.tree import RegressionTree, TreeNode
 
 __all__ = [
     "Model",
+    "Provenance",
+    "Uncertainty",
     "MLPModel",
     "SplineModel",
     "LinearInteractionModel",

@@ -152,6 +152,20 @@ class LinearInteractionModel(Model):
         points = self._as_points(points, self.dimension)
         return _columns(points, self.terms) @ self.coefficients
 
+    def diagnostics(self) -> dict:
+        """Structure numbers for the model card: term counts by order."""
+        orders = [len(t.dims) for t in self.terms]
+        return {
+            "family": "linear",
+            "dimension": self.dimension,
+            "num_terms": len(self.terms),
+            "main_effects": sum(1 for o in orders if o == 1),
+            "interactions": sum(1 for o in orders if o == 2),
+            "coefficient_l2": float(
+                np.sqrt(self.coefficients @ self.coefficients)
+            ),
+        }
+
     def describe(self, names: Optional[Sequence[str]] = None) -> str:
         """The fitted equation as text (terms and coefficients)."""
         parts = [

@@ -52,6 +52,19 @@ class MLPModel(Model):
         points = self._as_points(points, self.dimension)
         return self._forward(points) * self.y_std + self.y_mean
 
+    def diagnostics(self) -> dict:
+        """Structure numbers for the model card: layer sizes and weight norm."""
+        sizes = [self.weights[0].shape[0]] + [w.shape[1] for w in self.weights]
+        total = sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+        norm2 = sum(float((w * w).sum()) for w in self.weights)
+        return {
+            "family": "mlp",
+            "dimension": self.dimension,
+            "layer_sizes": sizes,
+            "num_parameters": int(total),
+            "weight_l2": float(np.sqrt(norm2)),
+        }
+
     def __repr__(self) -> str:
         sizes = [self.weights[0].shape[0]] + [w.shape[1] for w in self.weights]
         return f"MLPModel(layers={sizes})"

@@ -30,12 +30,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.models.base import Model
+from repro.models.base import Model, Uncertainty, _residual_band, training_hull
 from repro.models.selection import get_criterion
 from repro.models.tree import RegressionTree, TreeNode
 
 #: Radii are clipped below this to keep basis functions non-degenerate.
 _MIN_RADIUS = 1e-3
+
+#: Slack on the training sample's worst scaled center distance before a
+#: query point counts as extrapolation on the distance signal alone.
+_CENTER_DISTANCE_SLACK = 1.25
 
 
 def gaussian_design_matrix(
@@ -120,6 +124,78 @@ class RBFNetwork(Model):
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Network output ``f(x)`` at unit-cube points (Eq. 1)."""
         return self.hidden_responses(points) @ self.weights
+
+    def diagnostics(self) -> dict:
+        """Structure numbers for the model card: centers, radii, weights."""
+        return {
+            "family": "rbf",
+            "dimension": self.dimension,
+            "num_centers": self.num_centers,
+            "weight_l2": float(np.sqrt(self.weights @ self.weights)),
+            "radius_min": float(self.radii.min()),
+            "radius_max": float(self.radii.max()),
+        }
+
+    def _scaled_center_distances(self, points: np.ndarray) -> np.ndarray:
+        """Per-point distance to the *nearest* center in radius units.
+
+        ``min_j sqrt(sum_k ((x_k - c_jk) / r_jk)^2)`` — small means the
+        point sits inside some basis function's footprint, large means
+        every unit has decayed to ~0 there and the network output is just
+        the sum of far tails: classic silent extrapolation.
+        """
+        diff = points[:, None, :] - self.centers[None, :, :]
+        z2 = ((diff / self.radii[None, :, :]) ** 2).sum(axis=2)
+        return np.sqrt(z2.min(axis=1))
+
+    def calibrate(self, points: np.ndarray,
+                  responses: np.ndarray) -> Uncertainty:
+        """Calibrate with exact leave-one-out residuals (hat-matrix form).
+
+        Holding centers and radii fixed, the weight fit is linear
+        regression, so the LOO residual is ``e_i / (1 - H_ii)`` with
+        ``H = A (A^T A + ridge I)^{-1} A^T`` — no refit loop.  (The same
+        identity as :func:`repro.core.crossval.loo_rbf_error`, restated
+        here because that module imports this one.)  LOO residuals lack
+        the training fit's optimism, so the q10–q90 band is honest on
+        unseen points.  Also records the training sample's worst scaled
+        center distance, the reference for the RBF-specific extrapolation
+        signal.
+        """
+        points = self._as_points(points, self.dimension)
+        responses = np.asarray(responses, dtype=float).ravel()
+        a = gaussian_design_matrix(points, self.centers, self.radii)
+        gram = a.T @ a
+        gram.flat[:: gram.shape[0] + 1] += 1e-9
+        inner = np.linalg.solve(gram, a.T)
+        hat_diag = np.einsum("ij,ji->i", a, inner)
+        weights = inner @ responses
+        resid = responses - a @ weights
+        loo_resid = resid / np.clip(1.0 - hat_diag, 1e-6, None)
+        lower, upper, sigma, quantiles = _residual_band(loo_resid)
+        hull_lo, hull_hi = training_hull(points)
+        train_dist = self._scaled_center_distances(points)
+        self._uncertainty = Uncertainty(
+            kind="loo-quantile",
+            lower_offset=lower,
+            upper_offset=upper,
+            sigma=sigma,
+            residual_quantiles=quantiles,
+            hull_lower=hull_lo,
+            hull_upper=hull_hi,
+            center_distance_cap=float(train_dist.max()
+                                      * _CENTER_DISTANCE_SLACK),
+        )
+        return self._uncertainty
+
+    def _extrapolation_flags(self, points: np.ndarray,
+                             unc: Uncertainty) -> np.ndarray:
+        """Hull flags plus the scaled distance-to-nearest-center signal."""
+        flags = super()._extrapolation_flags(points, unc)
+        if unc.center_distance_cap is not None:
+            distances = self._scaled_center_distances(points)
+            flags = flags | (distances > unc.center_distance_cap)
+        return flags
 
     def describe(self) -> str:
         """Textual rendering of the network structure (the paper's Fig. 3)."""

@@ -90,10 +90,25 @@ class SplineModel(Model):
         return matrix @ self.coefficients
 
     def describe(self) -> str:
+        """The fitted spline as text (hinge terms and coefficients)."""
         parts = [
             f"{c:+.4f}*{t.label()}" for t, c in zip(self.terms, self.coefficients)
         ]
         return "y = " + " ".join(parts)
+
+    def diagnostics(self) -> dict:
+        """Structure numbers for the model card: term counts by degree."""
+        degrees = [t.degree() for t in self.terms]
+        return {
+            "family": "spline",
+            "dimension": self.dimension,
+            "num_terms": len(self.terms),
+            "additive_terms": sum(1 for d in degrees if d == 1),
+            "interaction_terms": sum(1 for d in degrees if d >= 2),
+            "coefficient_l2": float(
+                np.sqrt(self.coefficients @ self.coefficients)
+            ),
+        }
 
     def __repr__(self) -> str:
         return f"SplineModel(terms={len(self.terms)}, n={self.dimension})"

@@ -26,6 +26,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.models.base import Model
+
 
 @dataclass
 class Split:
@@ -66,7 +68,7 @@ class TreeNode:
         return self.left is None
 
 
-class RegressionTree:
+class RegressionTree(Model):
     """Recursive binary partition of a sample, minimising within-node variance.
 
     Parameters
@@ -213,7 +215,24 @@ class RegressionTree:
 
     @property
     def depth(self) -> int:
+        """Depth of the deepest node (root = 0)."""
         return max(n.depth for n in self.nodes_breadth_first())
+
+    @property
+    def dimension(self) -> int:
+        """Number of design-space dimensions the tree partitions."""
+        return self.points.shape[1]
+
+    def diagnostics(self) -> dict:
+        """Structure numbers for the model card: depth, leaves, splits."""
+        return {
+            "family": "tree",
+            "dimension": self.dimension,
+            "p_min": self.p_min,
+            "depth": self.depth,
+            "num_leaves": len(self.leaves()),
+            "num_splits": len(self.splits()),
+        }
 
     def __repr__(self) -> str:
         leaves = len(self.leaves())

@@ -26,6 +26,7 @@ from repro.obs.history.ledger import (
 from repro.obs.history.report import render_html, write_html
 from repro.obs.history.trend import (
     CHECK_FIELDS,
+    TREND_SCHEMA_VERSION,
     check_latest,
     comparable_history,
     latest_gate,
@@ -35,11 +36,13 @@ from repro.obs.history.trend import (
     render_trend,
     series,
     sparkline,
+    trend_document,
 )
 
 __all__ = [
     "HISTORY_SCHEMA_VERSION",
     "DIFF_SCHEMA_VERSION",
+    "TREND_SCHEMA_VERSION",
     "CHECK_FIELDS",
     "SpanDelta",
     "TraceDiff",
@@ -61,5 +64,6 @@ __all__ = [
     "render_trend",
     "series",
     "sparkline",
+    "trend_document",
     "write_html",
 ]

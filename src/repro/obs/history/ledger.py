@@ -32,8 +32,11 @@ HISTORY_SCHEMA_VERSION = 1
 _RESULTS_ENV = "REPRO_RESULTS_DIR"
 
 #: Manifest fields copied verbatim into a history record when non-``None``.
+#: ``python_version``/``numpy_version`` arrived with the model registry;
+#: older manifests simply lack them and the copy stays lenient.
 MANIFEST_FIELDS = (
-    "command", "started", "git_sha", "version", "python", "hostname", "pid",
+    "command", "started", "git_sha", "version", "python", "python_version",
+    "numpy_version", "hostname", "pid",
     "seed", "design_space_hash", "wall_time_s", "cpu_time_s", "jobs",
     "cache_hit_rate",
 )
@@ -43,11 +46,14 @@ MANIFEST_FIELDS = (
 #: components recorded by attributed runs (``repro stacks`` and the stacks
 #: exhibit): fraction of cycles attributed to the memory system and to
 #: front-end bubbles — trendable like any flat numeric field.
+#: ``model_sha``/``model_version``/``model_card``/``model_family`` point at
+#: the registered artifact a ``repro build`` produced, so the ledger links
+#: every run to its model card and headline fit error.
 HEADLINE_FIELDS = (
     "benchmark", "sample_size", "trace_length", "configurations", "cpi",
     "p_min", "alpha", "num_centers", "mean_error_pct", "max_error_pct",
     "bench_wall_s", "artifact", "stack_mem_frac", "stack_frontend_frac",
-    "stack",
+    "stack", "model_sha", "model_version", "model_card", "model_family",
 )
 
 #: Metric counters summarised into flat record fields.

@@ -43,6 +43,9 @@ TREE_LIMIT = 60
 #: Stacked CPI bars shown in the cycle-accounting section (newest first).
 STACK_LIMIT = 8
 
+#: Registered models shown in the model-quality table (newest first).
+MODEL_LIMIT = 10
+
 _CSS = """
 :root {
   color-scheme: light dark;
@@ -451,6 +454,66 @@ def _stack_section(runs: Sequence[Mapping[str, Any]]) -> str:
     return f'<div class="legend">{legend}</div>{"".join(bars)}{table}'
 
 
+def _model_points(
+    runs: Sequence[Mapping[str, Any]],
+) -> List[Tuple[float, float, str]]:
+    """Mean fit error per registered-model run, in ledger (refit) order."""
+    points: List[Tuple[float, float, str]] = []
+    for record in runs:
+        if not record.get("model_sha"):
+            continue
+        err = record.get("mean_error_pct")
+        if not isinstance(err, (int, float)) or isinstance(err, bool):
+            continue
+        label = record.get("benchmark") or record.get("command") or "?"
+        points.append((
+            float(len(points)), float(err),
+            f"{label} v{record.get('model_version') or '?'} "
+            f"@ {str(record.get('model_sha'))[:8]}: {err:.4g}%",
+        ))
+    return points
+
+
+def _model_section(runs: Sequence[Mapping[str, Any]]) -> str:
+    """Model-quality trend: fit error per registration, plus the registry
+    references (sha, lineage version, family) of the latest fits.
+
+    Only ledger records carrying a ``model_sha`` participate — these are
+    the ``repro build`` runs that registered their fit, so the series is
+    the longitudinal "is the fit getting worse?" record that ``repro
+    models check`` gates point-wise.
+    """
+    chart = _line_chart(
+        _model_points(runs), "registration (ledger order)",
+        "mean fit error (%)", "--series-1")
+    model_runs = [r for r in reversed(runs) if r.get("model_sha")]
+    if not model_runs:
+        return ('<p class="note">no registered models recorded yet — '
+                "<code>repro build</code> registers its fit automatically"
+                "</p>")
+    head = ("<tr><th>started</th><th>benchmark</th><th>family</th>"
+            '<th class="num">sample</th><th class="num">version</th>'
+            '<th class="num">mean err %</th><th>model sha</th></tr>')
+    rows: List[str] = []
+    for record in model_runs[:MODEL_LIMIT]:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(record.get('started') or '–')}</td>"
+            f"<td>{_esc(record.get('benchmark') or '–')}</td>"
+            f"<td>{_esc(record.get('model_family') or '–')}</td>"
+            f'<td class="num">{_num(record.get("sample_size"), "{:g}")}</td>'
+            f'<td class="num">{_num(record.get("model_version"), "{:g}")}</td>'
+            f'<td class="num">{_num(record.get("mean_error_pct"))}</td>'
+            f"<td>{_esc(str(record.get('model_sha'))[:16])}</td>"
+            "</tr>"
+        )
+    omitted = ""
+    if len(model_runs) > MODEL_LIMIT:
+        omitted = (f'<p class="note">{len(model_runs) - MODEL_LIMIT} older '
+                   f"registration(s) not shown</p>")
+    return f"{chart}<table>{head}{''.join(rows)}</table>{omitted}"
+
+
 def render_html(
     runs: Sequence[Mapping[str, Any]],
     trace: Optional[TraceData] = None,
@@ -485,6 +548,8 @@ def render_html(
         f"{error_chart}"
         "<h2>Bench wall time per run</h2>"
         f"{bench_chart}"
+        "<h2>Model quality (registered fits)</h2>"
+        f"{_model_section(runs)}"
         "<h2>CPI stacks (cycle accounting)</h2>"
         f"{_stack_section(runs)}"
         "<h2>Latest trace</h2>"

@@ -180,6 +180,35 @@ def render_trend(
     return "\n".join(lines)
 
 
+#: Schema version of the machine-readable trend document.
+TREND_SCHEMA_VERSION = 1
+
+
+def trend_document(
+    points: Sequence[Tuple[Any, float]],
+    field: str,
+    x_field: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Machine-readable trend for ``repro history trend --json``.
+
+    Schema-versioned and stable under ``json.dumps(..., sort_keys=True)``
+    so scripts can consume model-error trends the way they consume
+    ``trace summary --json``.  Summary statistics are omitted (``None``)
+    rather than invented when the series is empty.
+    """
+    values = [v for _, v in points]
+    return {
+        "schema": TREND_SCHEMA_VERSION,
+        "field": field,
+        "x_field": x_field,
+        "count": len(values),
+        "min": min(values) if values else None,
+        "median": median(values) if values else None,
+        "max": max(values) if values else None,
+        "points": [{"x": x, "value": v} for x, v in points],
+    }
+
+
 def latest_gate(runs: Sequence[Mapping[str, Any]]) -> Optional[Dict[str, Any]]:
     """The most recent recorded perf-gate outcome, or ``None``."""
     for record in reversed(runs):

@@ -9,8 +9,10 @@ directory cannot answer six months later.  ``repro build``,
 Contents (schema version 1): the command and argv, wall-clock start time,
 seed, a stable hash of the design space actually sampled, the overrides
 in effect, the git commit of the working tree (when available), the
-installed package version, Python/platform identification, wall and CPU
-time, and the run's metric totals.
+installed package version, Python/numpy/platform identification
+(``python_version`` and ``numpy_version`` — numeric artifacts are only
+bitwise-comparable within one numpy/BLAS stack), wall and CPU time, and
+the run's metric totals.
 """
 
 from __future__ import annotations
@@ -47,6 +49,20 @@ def package_version() -> str:
     except PackageNotFoundError:
         from repro import __version__
         return __version__
+
+
+def numpy_version() -> Optional[str]:
+    """The installed numpy version, or ``None`` when numpy is absent.
+
+    Model artifacts are numeric: a bitwise-reproducibility claim is only
+    meaningful together with the numpy/BLAS stack that produced the
+    numbers, so manifests record it explicitly.
+    """
+    try:
+        import numpy
+    except ImportError:  # the library degrades, the manifest records it
+        return None
+    return numpy.__version__
 
 
 def git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
@@ -152,6 +168,8 @@ def build_manifest(
         "git_sha": git_sha(),
         "version": package_version(),
         "python": platform.python_version(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy_version(),
         "platform": platform.platform(),
         "hostname": platform.node(),
         "pid": os.getpid(),

@@ -200,6 +200,21 @@ class TestManifestCostFields:
         assert second - first == 1.0
         assert isinstance(obs.monotonic(), float)  # raw clock when off
 
+    def test_numpy_and_python_versions_recorded(self):
+        import platform
+
+        import numpy as np
+
+        manifest = obs.build_manifest("build")
+        assert manifest["python_version"] == platform.python_version()
+        assert manifest["numpy_version"] == np.__version__
+        # The ledger lifts both fields, leniently: absent stays absent.
+        record = history.record_from_manifest(manifest)
+        assert record["python_version"] == platform.python_version()
+        assert record["numpy_version"] == np.__version__
+        bare = history.record_from_manifest({"schema": 1, "command": "x"})
+        assert "numpy_version" not in bare
+
 
 # -- trend / drift check ----------------------------------------------------
 
@@ -256,6 +271,22 @@ class TestTrend:
         assert line[0] == "▁" and line[-1] == "█"
         text = history.render_trend([(0, 1.0), (1, 2.0)], "wall_time_s")
         assert "wall_time_s" in text and "median=1.5" in text
+
+    def test_trend_document_schema_and_stats(self):
+        doc = history.trend_document([(30, 1.0), (50, 3.0), (70, 2.0)],
+                                     "mean_error_pct", x_field="sample_size")
+        assert doc["schema"] == history.TREND_SCHEMA_VERSION
+        assert doc["field"] == "mean_error_pct"
+        assert doc["x_field"] == "sample_size"
+        assert doc["count"] == 3
+        assert (doc["min"], doc["median"], doc["max"]) == (1.0, 2.0, 3.0)
+        assert doc["points"][0] == {"x": 30, "value": 1.0}
+
+    def test_trend_document_empty_series(self):
+        doc = history.trend_document([], "wall_time_s")
+        assert doc["count"] == 0
+        assert doc["min"] is None and doc["median"] is None
+        assert doc["points"] == [] and doc["x_field"] is None
 
     def test_latest_gate_skips_unchecked(self):
         runs = [make_run(gate={"checked": True, "passed": False}),
@@ -413,6 +444,24 @@ class TestHtmlReport:
         html = history.render_html(runs)
         assert "no attributed runs recorded" in html
 
+    def test_model_quality_section_lists_registered_fits(self):
+        runs = synthetic_runs()
+        runs.append(make_run(
+            benchmark="mcf", sample_size=30, mean_error_pct=4.2,
+            model_sha="a" * 16, model_version=1, model_family="rbf"))
+        runs.append(make_run(
+            benchmark="mcf", sample_size=30, mean_error_pct=3.1,
+            model_sha="b" * 16, model_version=2, model_family="rbf"))
+        html = history.render_html(runs)
+        assert "Model quality (registered fits)" in html
+        assert "a" * 16 in html and "b" * 16 in html
+        assert html == history.render_html(runs)  # still deterministic
+
+    def test_model_quality_section_degrades_without_registrations(self):
+        html = history.render_html(synthetic_runs())
+        assert "Model quality (registered fits)" in html
+        assert "no registered models recorded" in html
+
 
 # -- CLI --------------------------------------------------------------------
 
@@ -504,6 +553,26 @@ class TestHistoryCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["history", "trend", "wall_time_s"])
         assert "not enough data" in str(excinfo.value)
+
+    def test_trend_json_emits_schema_versioned_document(self, results_env,
+                                                        capsys):
+        seed_ledger([make_run(wall_time_s=1.0, sample_size=30),
+                     make_run(wall_time_s=3.0, sample_size=50)])
+        assert main(["history", "trend", "wall_time_s",
+                     "--x", "sample_size", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["schema"] == history.TREND_SCHEMA_VERSION
+        assert doc["points"] == [{"x": 30, "value": 1.0},
+                                 {"x": 50, "value": 3.0}]
+        # Canonical output: sorted keys, so the document diffs cleanly.
+        assert out == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    def test_trend_json_works_from_a_single_reading(self, results_env,
+                                                    capsys):
+        seed_ledger([make_run(wall_time_s=1.0)])
+        assert main(["history", "trend", "wall_time_s", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 1
 
     def test_show_index_out_of_range_is_one_line_error(self, results_env):
         seed_ledger([make_run()])

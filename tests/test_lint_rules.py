@@ -405,6 +405,76 @@ class TestOBS002:
         assert result.ok and len(result.suppressed) == 1
 
 
+class TestOBS003:
+    def test_flags_raw_serialisation_in_library_module(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import pickle
+            import joblib
+            import numpy as np
+
+            def persist(model, x, path):
+                pickle.dump(model, open(path, "wb"))
+                blob = pickle.dumps(model)
+                np.save(path, x)
+                np.savez(path, x=x)
+                np.savez_compressed(path, x=x)
+                joblib.dump(model, path)
+                return blob
+            """, filename="repro/experiments/demo.py", select={"OBS003"})
+        assert rule_ids(result) == ["OBS003"] * 6
+
+    def test_flags_from_imports_of_serialisers(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from pickle import dumps, loads
+            from numpy import save, asarray
+
+            def persist(model, x, path):
+                save(path, asarray(x))
+                return dumps(model), loads
+            """, filename="repro/core/demo.py", select={"OBS003"})
+        assert rule_ids(result) == ["OBS003"] * 2
+
+    def test_allows_loading_and_unrelated_calls(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import pickle
+            import numpy as np
+
+            def restore(path):
+                with open(path, "rb") as fh:
+                    state = pickle.load(fh)
+                return state, np.load(path), np.saved_flag
+            """, filename="repro/util/restore.py", select={"OBS003"})
+        assert result.ok
+
+    def test_exempts_seams_and_non_library_code(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "import numpy as np\nnp.save('m.npy', np.zeros(3))\n",
+            filename="repro/models/io.py",
+            select={"OBS003"},
+            extra_files=[
+                ("repro/models/registry.py",
+                 "import pickle\npickle.dump({}, open('x', 'wb'))\n"),
+                ("repro/simulator/trace_io.py",
+                 "import numpy as np\nnp.savez_compressed('t.npz')\n"),
+                ("benchmarks/test_speed.py",
+                 "import pickle\nblob = pickle.dumps([1])\n"),
+                ("examples/sweep.py",
+                 "import numpy as np\nnp.save('out.npy', np.zeros(2))\n"),
+            ],
+        )
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import pickle
+
+            def stash(obj, fh):
+                pickle.dump(obj, fh)  # repro: noqa[OBS003]
+            """, filename="repro/util/stash.py", select={"OBS003"})
+        assert result.ok and len(result.suppressed) == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self, tmp_path):
         result = lint_source(tmp_path, "def broken(:\n")

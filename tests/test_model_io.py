@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.models.io import load_model, save_model
+from repro.models.io import load_model, model_family, save_model
 from repro.models.linear import LinearInteractionModel
 from repro.models.mlp import MLPModel
 from repro.models.rbf import RBFNetwork, build_rbf_from_tree
 from repro.models.spline import SplineModel
+from repro.models.tree import RegressionTree
 
 
 @pytest.fixture
@@ -20,6 +21,19 @@ def sample(rng):
 def roundtrip(model, tmp_path, **kwargs):
     path = save_model(model, tmp_path / "model.json", **kwargs)
     return load_model(path)
+
+
+def all_family_models(sample):
+    """One fitted model per supported family, keyed by family name."""
+    x, y = sample
+    net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+    return {
+        "rbf": net,
+        "linear": LinearInteractionModel.fit(x, y),
+        "spline": SplineModel.fit(x, y, max_terms=12),
+        "mlp": MLPModel.fit(x, y, hidden=(6,), epochs=300, seed=1),
+        "tree": RegressionTree(x, y, p_min=2),
+    }
 
 
 class TestRoundTrips:
@@ -50,6 +64,47 @@ class TestRoundTrips:
         loaded, _, _ = roundtrip(model, tmp_path)
         xt = rng.random((20, 3))
         np.testing.assert_allclose(loaded.predict(xt), model.predict(xt), rtol=1e-12)
+
+    def test_tree(self, sample, tmp_path, rng):
+        x, y = sample
+        model = RegressionTree(x, y, p_min=2)
+        loaded, _, _ = roundtrip(model, tmp_path)
+        xt = rng.random((20, 3))
+        np.testing.assert_array_equal(loaded.predict(xt), model.predict(xt))
+
+    def test_all_families_round_trip_bitwise(self, sample, tmp_path, rng):
+        # JSON float serialisation uses repr (shortest round-trip), so a
+        # save/load cycle must reproduce predictions *bitwise*, not just
+        # within tolerance — the registry's content hash depends on it.
+        xt = rng.random((30, 3))
+        for family, model in all_family_models(sample).items():
+            assert model_family(model) == family
+            loaded, _, _ = roundtrip(model, tmp_path)
+            np.testing.assert_array_equal(
+                loaded.predict(xt), model.predict(xt),
+                err_msg=f"{family} round-trip not bitwise-identical")
+
+    def test_uncertainty_round_trips(self, sample, tmp_path, rng):
+        xt = rng.random((10, 3))
+        for family, model in all_family_models(sample).items():
+            x, y = sample
+            model.calibrate(x, y)
+            loaded, _, _ = roundtrip(model, tmp_path)
+            assert loaded.uncertainty is not None, family
+            assert loaded.uncertainty == model.uncertainty, family
+            before = model.predict_with_provenance(xt)
+            after = loaded.predict_with_provenance(xt)
+            np.testing.assert_array_equal(after.values, before.values)
+            np.testing.assert_array_equal(after.lower, before.lower)
+            np.testing.assert_array_equal(after.upper, before.upper)
+            np.testing.assert_array_equal(after.extrapolated,
+                                          before.extrapolated)
+
+    def test_uncalibrated_model_loads_uncalibrated(self, sample, tmp_path):
+        x, y = sample
+        net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        loaded, _, _ = roundtrip(net, tmp_path)
+        assert loaded.uncertainty is None
 
 
 class TestMetadata:
@@ -90,3 +145,55 @@ class TestMetadata:
         path = save_model(net, tmp_path / "m.json")
         payload = json.loads(path.read_text())
         assert payload["model"]["family"] == "rbf"
+
+
+class TestErrorPaths:
+    def test_corrupt_json_is_one_line_value_error(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"format_version": 2, "model": {"family"')
+        with pytest.raises(ValueError, match="corrupt model file") as exc:
+            load_model(path)
+        assert "\n" not in str(exc.value)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="corrupt model file"):
+            load_model(path)
+
+    def test_truncated_model_payload_rejected(self, sample, tmp_path):
+        import json
+
+        x, y = sample
+        net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        path = save_model(net, tmp_path / "m.json")
+        payload = json.loads(path.read_text())
+        del payload["model"]["weights"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="corrupt model file"):
+            load_model(path)
+
+    def test_version_mismatch_is_one_line_value_error(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"format_version": 99, "model": {"family": "rbf"}}')
+        with pytest.raises(ValueError,
+                           match="unsupported model file version") as exc:
+            load_model(path)
+        assert "\n" not in str(exc.value)
+
+    def test_v1_file_without_uncertainty_still_loads(self, sample, tmp_path,
+                                                     rng):
+        # Format v1 predates calibration records: no "uncertainty" key.
+        import json
+
+        x, y = sample
+        net, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+        path = save_model(net, tmp_path / "m.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 1
+        payload.pop("uncertainty", None)
+        path.write_text(json.dumps(payload))
+        loaded, _, _ = load_model(path)
+        assert loaded.uncertainty is None
+        xt = rng.random((20, 3))
+        np.testing.assert_array_equal(loaded.predict(xt), net.predict(xt))
