@@ -57,6 +57,17 @@ Commands
     its registry predecessor — or a committed probe baseline
     (``--baseline``) — exiting non-zero on MAD-style prediction drift
     (the model-quality gate next to ``history check``).
+``serve``
+    Serve registered models over HTTP (stdlib asyncio, no dependencies):
+    ``POST /predict`` for single or batched CPI predictions with
+    uncertainty bands and extrapolation flags — batches go through the
+    vectorised ``predict_batch`` path, bitwise-identical to sequential
+    single-point calls — plus ``/models``, ``/healthz`` (content-hash
+    re-verification), ``/metrics`` (windowed rates and latency
+    quantiles) and ``/version``.  ``--trace`` streams a span per request
+    to a rotating JSONL trace readable mid-flight; every session appends
+    a ledger record with request volume and latency quantiles (see
+    :mod:`repro.serve` and :mod:`repro.obs.live`).
 ``bench``
     Run the registered hot-path benchmarks (see
     :mod:`repro.obs.prof.targets`), print the results table, and write a
@@ -983,6 +994,84 @@ def cmd_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: observable model serving over HTTP.
+
+    Loads the registry's models (hash-verified), serves predictions until
+    the ``--max-requests`` budget is spent or Ctrl-C, and leaves the full
+    observability record behind: a streaming span trace (``--trace``), a
+    JSONL access log, a mid-flight-refreshed manifest and one ledger
+    record carrying request volume and latency quantiles.
+    """
+    from repro.experiments.report import results_dir
+    from repro.obs.live import AccessLog, LiveCollector, StreamingTraceSink
+    from repro.serve import ServingApp, serve_forever
+
+    registry = _registry_or_exit(args)
+    _entries_or_exit(registry)
+    access_path = (Path(args.access_log) if args.access_log
+                   else results_dir() / "serve-access.jsonl")
+    access = AccessLog(access_path)
+    app = ServingApp(
+        registry,
+        benchmark=args.benchmark,
+        family=args.family,
+        access_log=access,
+        max_requests=args.max_requests,
+    )
+    services = app.load_models()
+    if not services:
+        raise SystemExit("no registered models match the given filters "
+                         "(see `repro models list`)")
+    for service in services:
+        entry = service.entry
+        print(f"[serving {entry.benchmark or '-'} {entry.family} "
+              f"v{entry.version} {entry.sha}"
+              f"{'' if service.calibrated else ' (uncalibrated)'}]")
+
+    # Serving streams its trace span-by-span (repro.obs.live) instead of
+    # using main()'s batch collector, which would buffer an unbounded
+    # span tree for a process that may never exit.
+    dest = args.trace_dest
+    sink = collector = None
+    if dest is not None:
+        sink = StreamingTraceSink(
+            dest,
+            header={"command": "serve"},
+            max_bytes=args.trace_max_bytes,
+            metrics_snapshot=app.metrics.snapshot,
+        )
+        collector = LiveCollector(sink=sink)
+        obs.activate(collector)
+    base = obs.build_manifest("serve", extra={"registry": str(registry.root)})
+    start = obs.monotonic()
+    try:
+        serve_forever(
+            app, args.host, args.port,
+            on_ready=lambda bound: print(
+                f"[listening on http://{bound[0]}:{bound[1]} — "
+                f"access log {access_path}]"),
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot serve on {args.host}:{args.port}: {exc}")
+    finally:
+        if collector is not None:
+            obs.deactivate()
+            sink.close()
+            print(f"[trace written to {dest}]")
+        access.close()
+        manifest = obs.snapshot_manifest(
+            base,
+            metrics=app.metrics.snapshot(),
+            wall_time_s=obs.monotonic() - start,
+            extra=app.session_fields(),
+        )
+        path = obs.write_manifest(results_dir() / "manifest.json", manifest)
+        print(f"[manifest written to {path}]")
+        _record_run(manifest, args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -1257,6 +1346,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the tracemalloc peak-memory pass")
     p_perf.set_defaults(func=cmd_bench)
 
+    p_serve = sub.add_parser(
+        "serve", parents=[traced],
+        help="serve registered models over HTTP with live telemetry",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default 8321)")
+    p_serve.add_argument("--registry", default=None, metavar="DIR",
+                         help="model registry root (default: "
+                              "results/models)")
+    p_serve.add_argument("--benchmark", default=None,
+                         help="serve only this benchmark's lineages")
+    p_serve.add_argument("--family", default=None,
+                         help="serve only this model family")
+    p_serve.add_argument("--max-requests", type=int, default=None,
+                         metavar="N",
+                         help="shut down cleanly after N requests "
+                              "(deterministic smoke runs; default: serve "
+                              "until Ctrl-C)")
+    p_serve.add_argument("--access-log", default=None, metavar="PATH",
+                         help="JSONL access log (default: "
+                              "results/serve-access.jsonl)")
+    p_serve.add_argument("--trace-max-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="rotate the streaming trace above this size "
+                              "(default: never)")
+    p_serve.set_defaults(func=cmd_serve)
+
     p_lint = sub.add_parser(
         "lint", help="run the static-analysis pass (repro-lint)"
     )
@@ -1300,7 +1419,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     dest = _trace_destination(args)
     args.trace_dest = dest  # ledger records point at the run's trace
-    if dest is None:
+    if dest is None or args.command == "serve":
+        # serve streams its own trace span-by-span (repro.obs.live);
+        # batch collection would buffer an unbounded tree.
         return args.func(args)
     with obs.collecting() as collector:
         with obs.span(f"repro/{args.command}"):

@@ -1,5 +1,6 @@
 """Observability rules: OBS001 (no bare ``print``), OBS002 (no raw wall
-clocks) and OBS003 (no raw artifact serialisation) in library code.
+clocks), OBS003 (no raw artifact serialisation) and OBS004 (no blocking
+calls reachable from async serving handlers) in library code.
 
 Library modules that ``print`` bypass the observability layer: the output
 cannot be captured into traces, silenced in workers, or redirected by the
@@ -30,6 +31,17 @@ model registry exists to replace.  Model persistence goes through
 :mod:`repro.models.registry`); simulator trace archives go through
 :mod:`repro.simulator.trace_io`.  Those three modules are the designated
 serialisation seams and the only library code exempt from OBS003.
+
+OBS004 guards the serving event loop.  ``repro serve`` answers requests
+from a single asyncio loop: one ``time.sleep``, raw ``socket`` call or
+synchronous file read inside (or reachable from) an ``async def`` handler
+stalls *every* in-flight request, invisibly — the classic async
+foot-gun.  The rule walks each ``repro/serve`` module's intra-file call
+graph from its ``async def`` roots and flags blocking calls anywhere
+reachable.  Blocking telemetry I/O belongs behind the synchronous
+:mod:`repro.obs.live` sinks (invoked through the application object,
+outside this file-local reachability) and model loading belongs in
+synchronous startup code.
 """
 
 from __future__ import annotations
@@ -221,3 +233,117 @@ class NoRawSerialisationRule(VisitorRule):
                     "repro.simulator.trace_io",
                 )
         self.generic_visit(node)
+
+
+#: ``Path``/file-object methods that hit the filesystem synchronously.
+_BLOCKING_FILE_METHODS = (
+    "read_text", "write_text", "read_bytes", "write_bytes",
+)
+
+
+def _serve_scope(path: str) -> bool:
+    """Whether OBS004 applies: a module under ``repro/serve``."""
+    parts = PurePath(path).parts
+    return "repro" in parts and "serve" in parts
+
+
+@register
+class NoBlockingInAsyncRule(VisitorRule):
+    """Forbid blocking calls reachable from ``repro/serve`` async code."""
+
+    id = "OBS004"
+    title = "blocking call reachable from an async serving handler"
+    rationale = (
+        "repro serve answers every request from one asyncio event loop: "
+        "a time.sleep, raw socket call, bare open() or synchronous "
+        "Path read/write inside (or called, transitively, from) an "
+        "async def stalls all in-flight requests. Use asyncio "
+        "primitives, or hand the work to the synchronous repro.obs.live "
+        "sinks outside the handler's reachability."
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        if not _serve_scope(ctx.path):
+            return []
+        self._findings = []
+        self._ctx = ctx
+        functions: dict = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        reachable: set = set()
+        frontier = [
+            name for name, fn in functions.items()
+            if isinstance(fn, ast.AsyncFunctionDef)
+        ]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            frontier.extend(
+                callee for callee in self._callees(functions[name])
+                if callee in functions
+            )
+        for name in sorted(reachable):
+            self._scan(functions[name])
+        return self._findings
+
+    @staticmethod
+    def _callees(func: ast.AST) -> set:
+        """Intra-file callee names: bare calls plus ``self.method`` calls."""
+        out: set = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                continue
+            if len(chain) == 1:
+                out.add(chain[0])
+            elif len(chain) == 2 and chain[0] == "self":
+                out.add(chain[1])
+        return out
+
+    def _scan(self, func: ast.AST) -> None:
+        """Flag blocking calls in ``func``'s own body (not nested defs —
+        those are scanned separately if and only if reachable)."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(self, node: ast.Call) -> None:
+        chain = attribute_chain(node.func)
+        if chain is None:
+            return
+        if chain == ("time", "sleep"):
+            self.report(
+                node,
+                "time.sleep() reachable from an async handler blocks the "
+                "whole event loop; await asyncio.sleep() instead",
+            )
+        elif len(chain) >= 2 and chain[0] == "socket":
+            self.report(
+                node,
+                f"raw {'.'.join(chain)}() reachable from an async handler "
+                "blocks the event loop; use asyncio streams",
+            )
+        elif chain == ("open",):
+            self.report(
+                node,
+                "synchronous open() reachable from an async handler "
+                "blocks the event loop; route file telemetry through the "
+                "repro.obs.live sinks",
+            )
+        elif len(chain) >= 2 and chain[-1] in _BLOCKING_FILE_METHODS:
+            self.report(
+                node,
+                f"synchronous .{chain[-1]}() reachable from an async "
+                "handler blocks the event loop; route file I/O through "
+                "the repro.obs.live sinks",
+            )

@@ -112,6 +112,36 @@ class Provenance:
         return len(self.values)
 
 
+def design_dot(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Row-wise ``matrix · weights`` whose bits do not depend on row count.
+
+    BLAS picks different accumulation kernels for 1-row and m-row
+    matrix-vector products, so ``(Phi @ w)[i]`` and ``Phi[i:i+1] @ w`` can
+    differ in the last ulp — which breaks the serving layer's contract
+    that a batched prediction is *bitwise-identical* to sequential
+    single-point calls.  An elementwise product followed by a per-row
+    pairwise sum reduces each row independently with an order fixed by the
+    row length alone, so every model family's :meth:`Model.predict` and
+    :meth:`Model.predict_batch` agree exactly for any batch size.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    return (matrix * weights).sum(axis=1)
+
+
+def layer_dot(activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Row-wise ``activations @ weights`` for 2-D weights, batch-size stable.
+
+    The MLP forward pass needs the same row-count-independent guarantee as
+    :func:`design_dot` but with a ``(k, h)`` weight matrix; the expanded
+    broadcast costs an ``(m, k, h)`` temporary, which is fine at the
+    serving layer's scale (hidden widths of tens).
+    """
+    activations = np.asarray(activations, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    return (activations[:, :, None] * weights[None, :, :]).sum(axis=1)
+
+
 def _residual_band(residuals: np.ndarray) -> Tuple[float, float, float,
                                                    Tuple[float, float, float]]:
     """``(lower_offset, upper_offset, sigma, (q10, q50, q90))`` of residuals.
@@ -151,6 +181,29 @@ class Model(abc.ABC):
     @abc.abstractmethod
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Predict responses at ``(m, n)`` unit-cube points; returns ``(m,)``."""
+
+    def predict_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised batch prediction: one design-matrix pass for all rows.
+
+        The serving layer's hot path: "CPI at these 10k points" must be one
+        matrix operation, not 10k :meth:`predict` calls.  The contract is
+        *bitwise equality* with the per-point loop — for every row ``i``,
+        ``predict_batch(points)[i] == predict(points[i:i+1])[0]`` exactly
+        (the serial≡parallel precedent from the cache and runner layers).
+
+        The default validates the shape and delegates to :meth:`predict`,
+        which is already internally vectorised for the linear, spline, MLP
+        and RBF families (column construction followed by one matvec whose
+        per-row dot products are order-identical for 1 and m rows).
+        :class:`~repro.models.tree.RegressionTree` overrides this with an
+        index-array descent replacing its per-point Python walk.
+        """
+        dimension = getattr(self, "dimension", None)
+        if dimension is not None:
+            points = self._as_points(points, dimension)
+        else:
+            points = np.atleast_2d(np.asarray(points, dtype=float))
+        return self.predict(points)
 
     def __call__(self, points: np.ndarray) -> np.ndarray:
         return self.predict(points)
@@ -214,8 +267,9 @@ class Model(abc.ABC):
         Requires a prior :meth:`calibrate` (done automatically by
         ``repro build`` and persisted with registered artifacts); raises
         :class:`RuntimeError` otherwise rather than inventing a band.
-        The point predictions are bitwise-identical to :meth:`predict` —
-        provenance is computed *around* the prediction, never inside it.
+        The point predictions go through :meth:`predict_batch`, whose
+        bitwise-equality contract keeps them identical to :meth:`predict`
+        — provenance is computed *around* the prediction, never inside it.
         """
         unc = self._uncertainty
         if unc is None:
@@ -228,7 +282,7 @@ class Model(abc.ABC):
             points = self._as_points(points, dimension)
         else:
             points = np.atleast_2d(np.asarray(points, dtype=float))
-        values = self.predict(points)
+        values = self.predict_batch(points)
         return Provenance(
             values=values,
             lower=values + unc.lower_offset,

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.models.base import Model
+from repro.models.base import Model, design_dot
 from repro.models.selection import get_criterion
 
 
@@ -148,9 +148,13 @@ class LinearInteractionModel(Model):
         return cls([candidates[i] for i in active], beta, dimension=n)
 
     def predict(self, points: np.ndarray) -> np.ndarray:
-        """Model output over the selected terms at unit-cube points."""
+        """Model output over the selected terms at unit-cube points.
+
+        Batch-size-stable via :func:`repro.models.base.design_dot`: the
+        same bits for one point or ten thousand.
+        """
         points = self._as_points(points, self.dimension)
-        return _columns(points, self.terms) @ self.coefficients
+        return design_dot(_columns(points, self.terms), self.coefficients)
 
     def diagnostics(self) -> dict:
         """Structure numbers for the model card: term counts by order."""

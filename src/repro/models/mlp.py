@@ -18,7 +18,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.models.base import Model
+from repro.models.base import Model, layer_dot
 from repro.util.rng import make_rng
 
 
@@ -40,10 +40,12 @@ class MLPModel(Model):
         self.dimension = dimension
 
     def _forward(self, x: np.ndarray) -> np.ndarray:
+        # Inference-only forward pass (training keeps its own inline BLAS
+        # loop): layer_dot keeps each row's bits independent of batch size.
         h = x
         last = len(self.weights) - 1
         for i, (w, b) in enumerate(zip(self.weights, self.biases)):
-            h = h @ w + b
+            h = layer_dot(h, w) + b
             if i < last:
                 h = np.tanh(h)
         return h[:, 0]

@@ -30,7 +30,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.models.base import Model, Uncertainty, _residual_band, training_hull
+from repro.models.base import (Model, Uncertainty, _residual_band,
+                               design_dot, training_hull)
 from repro.models.selection import get_criterion
 from repro.models.tree import RegressionTree, TreeNode
 
@@ -122,8 +123,13 @@ class RBFNetwork(Model):
         return gaussian_design_matrix(points, self.centers, self.radii)
 
     def predict(self, points: np.ndarray) -> np.ndarray:
-        """Network output ``f(x)`` at unit-cube points (Eq. 1)."""
-        return self.hidden_responses(points) @ self.weights
+        """Network output ``f(x)`` at unit-cube points (Eq. 1).
+
+        The hidden-layer/weight product goes through
+        :func:`repro.models.base.design_dot`, so a batched call returns
+        exactly the bits sequential single-point calls would.
+        """
+        return design_dot(self.hidden_responses(points), self.weights)
 
     def diagnostics(self) -> dict:
         """Structure numbers for the model card: centers, radii, weights."""

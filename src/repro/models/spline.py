@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.models.base import Model
+from repro.models.base import Model, design_dot
 from repro.models.selection import get_criterion
 
 
@@ -85,9 +85,11 @@ class SplineModel(Model):
         self.dimension = dimension
 
     def predict(self, points: np.ndarray) -> np.ndarray:
+        """Sum of hinge-term contributions, batch-size stable
+        (:func:`repro.models.base.design_dot`)."""
         points = self._as_points(points, self.dimension)
         matrix = np.column_stack([t.evaluate(points) for t in self.terms])
-        return matrix @ self.coefficients
+        return design_dot(matrix, self.coefficients)
 
     def describe(self) -> str:
         """The fitted spline as text (hinge terms and coefficients)."""

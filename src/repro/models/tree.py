@@ -213,6 +213,34 @@ class RegressionTree(Model):
             out[i] = node.mean
         return out
 
+    def predict_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised piecewise-constant prediction via index-array descent.
+
+        Instead of walking the tree once per point, every internal node
+        partitions the index array of the points that reached it with one
+        boolean mask, and each leaf assigns its mean to its whole cohort at
+        once — O(points x depth) ndarray work instead of a Python loop.
+        Leaf means are *assigned*, never combined, so the result is
+        bitwise-identical to the per-point :meth:`predict` walk.
+        """
+        points = self._as_points(points, self.dimension)
+        out = np.empty(len(points))
+        stack: List[Tuple[TreeNode, np.ndarray]] = [
+            (self.root, np.arange(len(points)))
+        ]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.mean
+                continue
+            assert node.split is not None and node.left is not None
+            mask = points[idx, node.split.dimension] <= node.split.value
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
     @property
     def depth(self) -> int:
         """Depth of the deepest node (root = 0)."""

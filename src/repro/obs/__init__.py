@@ -1,6 +1,6 @@
 """repro.obs — observability for the simulate→sample→fit→validate pipeline.
 
-A dependency-free layer of four pieces:
+A dependency-free layer of five pieces:
 
 * **span tracing** (:mod:`repro.obs.tracing`) — ``with span("fit", k=8):``
   context manager and ``@traced`` decorator recording a tree of named,
@@ -12,7 +12,12 @@ A dependency-free layer of four pieces:
   ``repro trace summary``;
 * **run manifests** (:mod:`repro.obs.manifest`) — the provenance record
   (seed, design-space hash, git SHA, version, cost, metric totals)
-  written next to every result.
+  written next to every result, snapshottable mid-process via
+  :func:`snapshot_manifest`;
+* **live telemetry** (:mod:`repro.obs.live`) — the continuous half for
+  processes that never exit: a streaming trace sink with rotation, a
+  memory-bounded :class:`~repro.obs.live.LiveCollector`, windowed
+  metrics snapshots and a JSONL access log, serving ``repro serve``.
 
 Tracing is off by default and costs nothing measurable: ``span`` yields a
 shared no-op when no :class:`Collector` is active, and instrumentation
@@ -29,6 +34,7 @@ from repro.obs.manifest import (
     git_sha,
     package_version,
     read_manifest,
+    snapshot_manifest,
     write_manifest,
 )
 from repro.obs.metrics import Histogram, MetricsRegistry
@@ -81,6 +87,7 @@ __all__ = [
     "record_failure",
     "render_summary",
     "set_gauge",
+    "snapshot_manifest",
     "span",
     "traced",
     "write_manifest",

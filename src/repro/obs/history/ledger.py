@@ -49,11 +49,17 @@ MANIFEST_FIELDS = (
 #: ``model_sha``/``model_version``/``model_card``/``model_family`` point at
 #: the registered artifact a ``repro build`` produced, so the ledger links
 #: every run to its model card and headline fit error.
+#: ``requests_served``/``request_errors``/``latency_p*_ms`` are the
+#: serving-session headline: volume, error count, and latency quantiles
+#: from one ``repro serve`` session, so ``repro history trend
+#: latency_p99_ms`` covers serving exactly like batch runs.
 HEADLINE_FIELDS = (
     "benchmark", "sample_size", "trace_length", "configurations", "cpi",
     "p_min", "alpha", "num_centers", "mean_error_pct", "max_error_pct",
     "bench_wall_s", "artifact", "stack_mem_frac", "stack_frontend_frac",
     "stack", "model_sha", "model_version", "model_card", "model_family",
+    "requests_served", "request_errors", "latency_p50_ms",
+    "latency_p90_ms", "latency_p99_ms",
 )
 
 #: Metric counters summarised into flat record fields.

@@ -46,6 +46,9 @@ STACK_LIMIT = 8
 #: Registered models shown in the model-quality table (newest first).
 MODEL_LIMIT = 10
 
+#: Serving sessions listed in the serving section (newest first).
+SERVE_LIMIT = 10
+
 _CSS = """
 :root {
   color-scheme: light dark;
@@ -514,6 +517,67 @@ def _model_section(runs: Sequence[Mapping[str, Any]]) -> str:
     return f"{chart}<table>{head}{''.join(rows)}</table>{omitted}"
 
 
+def _serve_points(
+    runs: Sequence[Mapping[str, Any]],
+) -> List[Tuple[float, float, str]]:
+    """p99 latency per serving session, in ledger (session) order."""
+    points: List[Tuple[float, float, str]] = []
+    for record in runs:
+        if record.get("command") != "serve":
+            continue
+        p99 = record.get("latency_p99_ms")
+        if not isinstance(p99, (int, float)) or isinstance(p99, bool):
+            continue
+        points.append((
+            float(len(points)), float(p99),
+            f"{record.get('started') or '?'}: p99 {p99:.4g} ms over "
+            f"{record.get('requests_served') or 0} request(s)",
+        ))
+    return points
+
+
+def _serve_section(runs: Sequence[Mapping[str, Any]]) -> str:
+    """Serving sessions: request volume, errors and latency quantiles.
+
+    Each ``repro serve`` session appends one ledger record at shutdown
+    (requests served, error count, p50/p90/p99 latency), so the serving
+    tail is trendable exactly like batch runs — this section charts the
+    p99 series and tabulates the recent sessions.
+    """
+    serve_runs = [r for r in reversed(runs) if r.get("command") == "serve"]
+    if not serve_runs:
+        return ('<p class="note">no serving sessions recorded yet — '
+                "<code>repro serve</code> appends one record per session"
+                "</p>")
+    chart = _line_chart(
+        _serve_points(runs), "serving session (ledger order)",
+        "p99 latency (ms)", "--series-2")
+    head = ("<tr><th>started</th><th class=\"num\">requests</th>"
+            '<th class="num">errors</th><th class="num">p50 ms</th>'
+            '<th class="num">p90 ms</th><th class="num">p99 ms</th>'
+            "<th>trace</th></tr>")
+    rows: List[str] = []
+    for record in serve_runs[:SERVE_LIMIT]:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(record.get('started') or '–')}</td>"
+            f'<td class="num">{_num(record.get("requests_served"), "{:g}")}'
+            "</td>"
+            f'<td class="num">{_num(record.get("request_errors"), "{:g}")}'
+            "</td>"
+            f'<td class="num">{_num(record.get("latency_p50_ms"))}</td>'
+            f'<td class="num">{_num(record.get("latency_p90_ms"))}</td>'
+            f'<td class="num">{_num(record.get("latency_p99_ms"))}</td>'
+            f"<td>{_esc(record.get('trace_path') or '–')}</td>"
+            "</tr>"
+        )
+    omitted = ""
+    if len(serve_runs) > SERVE_LIMIT:
+        omitted = (f'<p class="note">{len(serve_runs) - SERVE_LIMIT} older '
+                   f"session(s) not shown</p>")
+    return f"{chart}<table>{head}{''.join(rows)}</table>{omitted}"
+
+
 def render_html(
     runs: Sequence[Mapping[str, Any]],
     trace: Optional[TraceData] = None,
@@ -552,6 +616,8 @@ def render_html(
         f"{_model_section(runs)}"
         "<h2>CPI stacks (cycle accounting)</h2>"
         f"{_stack_section(runs)}"
+        "<h2>Serving sessions</h2>"
+        f"{_serve_section(runs)}"
         "<h2>Latest trace</h2>"
         f"{_trace_tree(trace)}"
         "<h2>Run history</h2>"

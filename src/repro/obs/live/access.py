@@ -1,0 +1,51 @@
+"""Structured JSONL access log: one flushed line per served request.
+
+The serving layer's request-level record, separate from the span trace
+(which captures *how long* the stages took) and from metrics (which
+aggregate): the access log is the greppable per-request ledger — request
+id, method, path, status, point count, latency — written with the same
+lenient-read discipline as every other JSONL artifact in the repo (a
+torn final line from a killed writer is the reader's problem to skip,
+never a corruption of earlier records).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+
+class AccessLog:
+    """An append-only JSONL access log with per-line flush.
+
+    Each :meth:`log` call writes exactly one sorted-key JSON object and
+    flushes, so a reader (or a crash) observes whole records plus at most
+    one torn line.  A sink for the serving layer's blocking file I/O —
+    handlers hand records over; only this class touches the file.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.records_written = 0
+        self._fh: Optional[Any] = open(self.path, "a", encoding="utf-8")
+
+    def log(self, **fields: Any) -> None:
+        """Append one access record (keyword fields become the object)."""
+        assert self._fh is not None, "access log is closed"
+        self._fh.write(json.dumps(fields, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Close the underlying file; further :meth:`log` calls fail."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,178 @@
+"""Streaming JSONL trace sink: append-on-span-close, with rotation.
+
+The batch writer (:func:`repro.obs.write_trace`) serialises a whole
+collector at exit.  A long-lived process instead streams: every time a
+*root* span closes — one served request, in the serving layer — its
+complete subtree is flattened and appended to the trace file immediately,
+parents before children, ids in emission order, exactly the schema
+(version 1) :func:`repro.obs.read_trace` already parses.  Flushing whole
+subtrees at root-close keeps the parent-precedes-child invariant that an
+append-per-span stream would violate (children close first), and makes
+every line boundary a consistent read point: a reader at any moment sees
+only complete spans, and a writer killed mid-record leaves at most one
+torn final line, which ``read_trace(strict=False)`` skips and counts.
+
+Rotation is size-based and happens only between emissions, never inside
+one: when the active file exceeds ``max_bytes`` it is sealed with a
+metrics line (so each segment is a complete, independently readable
+trace) and renamed to ``<stem>.NNN<suffix>``; a fresh header opens the
+next segment at the original path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.obs.sinks import TRACE_SCHEMA_VERSION
+from repro.obs.tracing import Collector, SpanNode
+
+
+class StreamingTraceSink:
+    """Appends completed span trees to a JSONL trace file as they close.
+
+    Parameters
+    ----------
+    path:
+        The active trace file.  Rotated segments land next to it as
+        ``<stem>.001<suffix>``, ``<stem>.002<suffix>``, …
+    header:
+        Extra header fields merged into the ``{"type": "trace"}`` first
+        line (e.g. the command name).
+    max_bytes:
+        Rotate when the active file exceeds this size after an emission;
+        ``None`` (default) never rotates.
+    metrics_snapshot:
+        Zero-argument callable returning a metrics snapshot dict; called
+        for the final ``{"type": "metrics"}`` line of each sealed segment
+        and of the active file at :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header: Optional[Mapping[str, Any]] = None,
+        max_bytes: Optional[int] = None,
+        metrics_snapshot: Optional[Callable[[], Mapping[str, Any]]] = None,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._header = dict(header) if header else {}
+        self.max_bytes = max_bytes
+        self._metrics_snapshot = metrics_snapshot
+        self.rotations: List[Path] = []
+        self.spans_emitted = 0
+        self._counter = 0  # span ids, per segment
+        self._fh = None
+        self._open_segment()
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def _open_segment(self) -> None:
+        head: Dict[str, Any] = {"type": "trace",
+                                "version": TRACE_SCHEMA_VERSION}
+        head.update(self._header)
+        self._counter = 0
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._write_line(head)
+
+    def _write_line(self, event: Mapping[str, Any]) -> None:
+        assert self._fh is not None, "sink is closed"
+        self._fh.write(json.dumps(dict(event), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def _seal(self) -> None:
+        """Write the final metrics line and close the active handle."""
+        metrics: Dict[str, Any] = {"type": "metrics"}
+        if self._metrics_snapshot is not None:
+            metrics.update(self._metrics_snapshot())
+        self._write_line(metrics)
+        self._fh.close()
+        self._fh = None
+
+    def _rotate(self) -> None:
+        self._seal()
+        rotated = self.path.with_name(
+            f"{self.path.stem}.{len(self.rotations) + 1:03d}{self.path.suffix}"
+        )
+        self.path.replace(rotated)
+        self.rotations.append(rotated)
+        self._open_segment()
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, root: SpanNode, origin: float = 0.0) -> None:
+        """Append ``root``'s whole subtree (depth-first) to the trace.
+
+        ``origin`` is the owning collector's trace origin; offsets are
+        recorded relative to it, like the batch writer's.  Rotation, when
+        due, happens after the subtree is fully written, so no span is
+        ever split across segments.
+        """
+        stack = [(root, None)]
+        while stack:
+            node, parent_id = stack.pop()
+            span_id = self._counter
+            self._counter += 1
+            self._write_line({
+                "type": "span",
+                "id": span_id,
+                "parent": parent_id,
+                "name": node.name,
+                "offset": round(node.start - origin, 9),
+                "dur": round(node.duration, 9),
+                "attrs": node.attrs,
+            })
+            self.spans_emitted += 1
+            for child in reversed(node.children):
+                stack.append((child, span_id))
+        if self.max_bytes is not None and self._fh.tell() > self.max_bytes:
+            self._rotate()
+
+    def emit_event(self, event: Mapping[str, Any]) -> None:
+        """Append one structured event (e.g. a failure) to the trace."""
+        self._write_line(event)
+
+    def close(self) -> None:
+        """Seal the active segment; the sink cannot emit afterwards."""
+        if self._fh is not None:
+            self._seal()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` (or a failed open) retired the sink."""
+        return self._fh is None
+
+    def __enter__(self) -> "StreamingTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class LiveCollector(Collector):
+    """A :class:`~repro.obs.tracing.Collector` that streams to a sink.
+
+    Behaves exactly like its parent while spans are open; once the span
+    stack unwinds to empty, every completed root is emitted to the sink
+    (subtree-at-a-time) and *dropped* from :attr:`roots`, together with
+    any buffered structured events — so a serving process's collector
+    stays O(open spans), not O(requests served).  With ``sink=None`` it
+    degrades to a plain in-memory collector.
+    """
+
+    def __init__(self, sink: Optional[StreamingTraceSink] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        super().__init__(clock=clock)
+        self.sink = sink
+
+    def end_span(self, node: SpanNode) -> None:
+        """Close ``node``; stream and drop completed roots when idle."""
+        super().end_span(node)
+        if self.sink is None or self._stack:
+            return
+        while self.roots:
+            self.sink.emit(self.roots.pop(0), self.origin)
+        while self.events:
+            self.sink.emit_event(self.events.pop(0))

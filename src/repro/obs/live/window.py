@@ -1,0 +1,81 @@
+"""Windowed metrics snapshots: rates and latency quantiles mid-flight.
+
+A :class:`repro.obs.metrics.MetricsRegistry` accumulates totals for the
+lifetime of a process; a ``/metrics`` endpoint additionally wants *rates*
+— requests per second since you last looked.  :class:`MetricsWindow`
+wraps a registry and diffs successive snapshots: counter deltas divided
+by elapsed seconds on the observability clock
+(:func:`repro.obs.monotonic`, so tests with an injected collector clock
+get deterministic rates), alongside the cumulative totals and the
+p50/p90/p99 quantiles the registry's reservoir histograms already carry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import monotonic
+
+
+class MetricsWindow:
+    """Successive-snapshot view over one registry: totals plus rates.
+
+    Parameters
+    ----------
+    registry:
+        The live registry to observe (shared with the recording code).
+    clock:
+        Zero-argument time source; defaults to
+        :func:`repro.obs.monotonic` so an injected collector clock
+        controls window boundaries in tests.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 clock: Optional[Callable[[], float]] = None):
+        self.registry = registry
+        self._clock = clock if clock is not None else monotonic
+        self._last_time = self._clock()
+        self._last_counters: Dict[str, float] = dict(registry.counters)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One windowed snapshot; advances the window.
+
+        Returns a plain-JSON dict::
+
+            {
+              "counters": {...cumulative totals...},
+              "gauges": {...},
+              "latency": {name: {count, mean, p50, p90, p99}, ...},
+              "window": {"elapsed_s": ..., "rates": {name: per_second}},
+            }
+
+        ``rates`` covers every counter that moved (or existed) since the
+        previous snapshot; a zero-elapsed window reports zero rates
+        rather than dividing by zero.
+        """
+        now = self._clock()
+        elapsed = max(0.0, now - self._last_time)
+        counters = dict(self.registry.counters)
+        rates: Dict[str, float] = {}
+        for name in sorted(set(counters) | set(self._last_counters)):
+            delta = counters.get(name, 0.0) - self._last_counters.get(name, 0.0)
+            rates[name] = (delta / elapsed) if elapsed > 0 else 0.0
+        latency: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self.registry.histograms):
+            hist = self.registry.histograms[name]
+            latency[name] = {
+                "count": hist.count,
+                "mean": hist.mean,
+                "p50": hist.percentile(50),
+                "p90": hist.percentile(90),
+                "p99": hist.percentile(99),
+            }
+        self._last_time = now
+        self._last_counters = counters
+        return {
+            "counters": counters,
+            "gauges": dict(self.registry.gauges),
+            "latency": latency,
+            "window": {"elapsed_s": elapsed, "rates": rates},
+        }

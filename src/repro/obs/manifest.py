@@ -184,6 +184,49 @@ def build_manifest(
     return manifest
 
 
+def snapshot_manifest(
+    base: Mapping[str, Any],
+    metrics: Optional[Mapping[str, Any]] = None,
+    wall_time_s: Optional[float] = None,
+    cpu_time_s: Optional[float] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Refresh a manifest's cost and metric fields mid-process.
+
+    :func:`build_manifest` assumes a run that ends: wall/CPU time and
+    metric totals are measured once, at exit.  A serving process never
+    exits, so its manifest must be *snapshottable*: this returns a new
+    manifest with the same identity fields (command, argv, start time,
+    seed, git SHA, versions, …) as ``base`` but current cost and metric
+    totals.  The operation is idempotent and monotone — snapshotting a
+    snapshot yields the same schema and key set, and ``wall_time_s`` /
+    ``cpu_time_s`` never decrease (``cpu_time_s`` defaults to the
+    process's cumulative CPU time, which only grows; a ``None`` or
+    smaller ``wall_time_s`` keeps the previous reading).
+
+    ``base`` is never mutated; ledger records built from successive
+    snapshots of one session stay schema-identical.
+    """
+    manifest: Dict[str, Any] = dict(base)
+    if cpu_time_s is None:
+        cpu_time_s = time.process_time()
+    previous_cpu = manifest.get("cpu_time_s")
+    if previous_cpu is not None:
+        cpu_time_s = max(float(previous_cpu), float(cpu_time_s))
+    manifest["cpu_time_s"] = cpu_time_s
+    previous_wall = manifest.get("wall_time_s")
+    if wall_time_s is not None:
+        if previous_wall is not None:
+            wall_time_s = max(float(previous_wall), float(wall_time_s))
+        manifest["wall_time_s"] = wall_time_s
+    if metrics is not None:
+        manifest["metrics"] = dict(metrics)
+        manifest["cache_hit_rate"] = cache_hit_rate(metrics)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
 def write_manifest(path: Union[str, Path], manifest: Mapping[str, Any]) -> Path:
     """Write ``manifest`` as pretty-printed JSON at ``path``."""
     path = Path(path)

@@ -3,8 +3,9 @@
 One benchmark per pipeline hot path the profile analyzer keeps showing:
 synthetic-trace generation, end-to-end detailed simulation, the
 cache-hierarchy access loop inside it, regression-tree construction, AICc
-center selection, centered-L2 discrepancy scoring, and the observability
-layer's own cross-process metrics merge.  Every input is seeded, so each
+center selection, centered-L2 discrepancy scoring, the observability
+layer's own cross-process metrics merge, and the serving layer's batched
+provenance prediction.  Every input is seeded, so each
 benchmark's work metadata — counts and content hashes of what was
 computed — is identical run to run; only the wall/CPU/memory measurements
 vary.  That invariant is what makes ``BENCH_*.json`` files comparable
@@ -195,6 +196,39 @@ def bench_centered_l2(ctx):
             "points": int(sample.shape[0]),
             "dims": int(sample.shape[1]),
             "value_hash": stable_hash(round(value, 12)),
+        }
+
+    return work
+
+
+@benchmark("serve/predict_batch", group="serve", repeats=3, tolerance=5.0)
+def bench_serve_predict_batch(ctx):
+    """Batched provenance prediction: the ``/predict`` endpoint hot path.
+
+    One fitted, calibrated RBF answering a large batch through
+    ``predict_with_provenance`` — a single design-matrix pass plus the
+    uncertainty band and hull flags per point.  The value hash pins the
+    vectorised path's bitwise contract (identical to sequential
+    single-point ``predict`` calls); a regression here is exactly a
+    serving-latency regression.
+    """
+    from repro.models.rbf import build_rbf_from_tree
+
+    n_batch = ctx.scale(10000, 2000)
+    rng = np.random.default_rng(BENCH_SEED)
+    x = rng.random((96, 9))
+    y = np.sin(x @ np.arange(1.0, 10.0)) + 0.05 * rng.random(96)
+    model, _ = build_rbf_from_tree(x, y, p_min=2, alpha=6.0)
+    model.calibrate(x, y)
+    batch = rng.random((n_batch, 9))
+
+    def work():
+        prov = model.predict_with_provenance(batch)
+        return {
+            "points": int(n_batch),
+            "centers": int(model.num_centers),
+            "values_hash": stable_hash(prov.values.tolist()),
+            "extrapolated": int(prov.extrapolated.sum()),
         }
 
     return work

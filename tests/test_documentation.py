@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.experiments", "repro.statsim", "repro.util",
     "repro.lint", "repro.lint.rules", "repro.lint.semantic",
     "repro.obs", "repro.obs.prof", "repro.obs.history",
+    "repro.obs.live", "repro.serve",
 ]
 
 

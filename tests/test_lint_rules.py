@@ -475,6 +475,71 @@ class TestOBS003:
         assert result.ok and len(result.suppressed) == 1
 
 
+class TestOBS004:
+    def test_flags_blocking_calls_reachable_from_async(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+            import socket
+
+            async def handler(reader, writer):
+                time.sleep(0.1)
+                payload = open("body.json").read()
+                record(payload)
+
+            def record(payload):
+                sock = socket.create_connection(("host", 80))
+                log_path.write_text(payload)
+            """, filename="repro/serve/http.py", select={"OBS004"})
+        assert rule_ids(result) == ["OBS004"] * 4
+
+    def test_unreachable_sync_code_is_not_constrained(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            async def handler(reader, writer):
+                return respond()
+
+            def respond():
+                return 200
+
+            def startup_only():
+                time.sleep(1.0)
+                return open("models.json").read()
+            """, filename="repro/serve/app.py", select={"OBS004"})
+        assert result.ok
+
+    def test_self_method_calls_are_traversed(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            class Server:
+                async def handle(self, request):
+                    return self.slow()
+
+                def slow(self):
+                    time.sleep(2.0)
+            """, filename="repro/serve/app.py", select={"OBS004"})
+        assert rule_ids(result) == ["OBS004"]
+
+    def test_only_serve_modules_are_in_scope(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            async def poll():
+                time.sleep(1.0)
+            """, filename="repro/obs/live/poll.py", select={"OBS004"})
+        assert result.ok
+
+    def test_inline_noqa_suppresses(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import time
+
+            async def handler():
+                time.sleep(0.01)  # repro: noqa[OBS004]
+            """, filename="repro/serve/http.py", select={"OBS004"})
+        assert result.ok and len(result.suppressed) == 1
+
+
 class TestFramework:
     def test_syntax_error_becomes_finding(self, tmp_path):
         result = lint_source(tmp_path, "def broken(:\n")
@@ -540,7 +605,7 @@ class TestFramework:
 
     def test_every_rule_has_id_title_and_docs(self):
         expected = {"RNG001", "NUM001", "NUM002", "DS001", "REG001",
-                    "API001", "API002", "OBS001"}
+                    "API001", "API002", "OBS001", "OBS004"}
         assert expected <= set(RULES)
         for rule_id, cls in RULES.items():
             assert cls.title, rule_id
@@ -587,7 +652,7 @@ class TestCli:
         listing = self._run("--list-rules")
         assert listing.returncode == 0
         for rule_id in ("RNG001", "NUM001", "NUM002", "DS001", "REG001",
-                        "API001", "API002", "OBS001"):
+                        "API001", "API002", "OBS001", "OBS004"):
             assert rule_id in listing.stdout
 
     def test_missing_path_is_usage_error(self):

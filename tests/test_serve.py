@@ -1,0 +1,376 @@
+"""The observable serving layer: endpoints, telemetry, HTTP shell.
+
+``ServingApp.handle`` is the transport-independent entry point, so most
+tests drive it directly — every endpoint and error path without a
+socket.  The pinned behaviours from the issue: batched ``/predict``
+bitwise-identical to sequential single-point ``Model.predict`` calls,
+``/metrics`` latency quantiles deterministic under an injected clock,
+the per-session ledger record, hash-verified ``/healthz`` degradation,
+and tracing-off serving bitwise-unperturbed.  A final asyncio test runs
+the real HTTP server against a real socket with a ``max_requests``
+budget and checks the deterministic shutdown the CI smoke job relies on.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.models import registry as reg
+from repro.models.rbf import build_rbf_from_tree
+from repro.obs.history.ledger import record_from_manifest
+from repro.obs.live import LiveCollector, StreamingTraceSink
+from repro.serve import ModelService, ServingApp, run_server
+from repro.serve import app as app_module
+
+PINNED_NOW = "2026-08-08T00:00:00+00:00"
+DIM = 3
+
+
+def target(x):
+    return 1.0 + np.sin(3 * x[:, 0]) + 0.5 * x[:, 1] * x[:, 2]
+
+
+def make_app(tmp_path, calibrate=True, **app_kwargs):
+    """A registry with one registered RBF model and an app serving it."""
+    rng = np.random.default_rng(17)
+    x = rng.random((60, DIM))
+    y = target(x) + rng.normal(0.0, 0.05, len(x))
+    model, _ = build_rbf_from_tree(x, y, p_min=2, alpha=4.0)
+    if calibrate:
+        model.calibrate(x, y)
+    registry = reg.ModelRegistry(tmp_path / "registry")
+    registry.register(model, benchmark="mcf", sample_size=60, seed=42,
+                      parameter_names=["a", "b", "c"], now=PINNED_NOW)
+    app = ServingApp(registry, **app_kwargs)
+    app.load_models()
+    return app
+
+
+def predict(app, payload):
+    return app.handle("POST", "/predict", json.dumps(payload).encode())
+
+
+@pytest.fixture
+def app(tmp_path):
+    return make_app(tmp_path)
+
+
+class TestEndpoints:
+    def test_models_lists_the_loaded_service(self, app):
+        status, payload = app.handle("GET", "/models")
+        assert status == 200
+        (record,) = payload["models"]
+        assert record["benchmark"] == "mcf"
+        assert record["family"] == "rbf"
+        assert record["calibrated"] is True
+        assert record["dimension"] == DIM
+        assert record["parameter_names"] == ["a", "b", "c"]
+
+    def test_predict_single_point_with_provenance(self, app):
+        status, payload = predict(app, {"points": [[0.5, 0.5, 0.5]]})
+        assert status == 200
+        assert payload["count"] == 1
+        assert payload["lower"][0] <= payload["values"][0] <= payload["upper"][0]
+        assert payload["extrapolated"] == [False]
+        assert payload["model"] == app.services[0].entry.sha
+        assert payload["request_id"] == "req-000001"
+
+    def test_flat_vector_is_one_point(self, app):
+        status, payload = predict(app, {"points": [0.5, 0.5, 0.5]})
+        assert status == 200
+        assert payload["count"] == 1
+
+    def test_batch_is_bitwise_identical_to_sequential_predict(self, app):
+        rng = np.random.default_rng(99)
+        points = rng.random((200, DIM))
+        status, payload = predict(app, {"points": points.tolist()})
+        assert status == 200
+        model = app.services[0].model
+        sequential = [float(model.predict(p[np.newaxis, :])[0])
+                      for p in points]
+        # Bitwise equality, surviving the float() round-trip the JSON
+        # payload applies — batching changes latency, never the numbers.
+        assert payload["values"] == sequential
+
+    def test_provenance_false_returns_bare_values(self, app):
+        status, payload = predict(
+            app, {"points": [[0.5, 0.5, 0.5]], "provenance": False})
+        assert status == 200
+        assert "values" in payload
+        assert "lower" not in payload
+
+    def test_selector_resolution_sha_prefix_and_benchmark(self, app):
+        sha = app.services[0].entry.sha
+        for selector in (sha[:8], "mcf"):
+            status, payload = predict(
+                app, {"points": [[0.5, 0.5, 0.5]], "model": selector})
+            assert status == 200
+            assert payload["model"] == sha
+        status, payload = predict(
+            app, {"points": [[0.5, 0.5, 0.5]], "model": "gcc"})
+        assert status == 404
+
+    @pytest.mark.parametrize("body,fragment", [
+        (None, "empty request body"),
+        (b"not json", "invalid JSON"),
+        (b"[1, 2, 3]", "JSON object"),
+        (b"{}", "missing required field 'points'"),
+        (b'{"points": [["a", "b", "c"]]}', "not numeric"),
+        (b'{"points": []}', "vector or a matrix"),
+        (b'{"points": [[0.5, 0.5]]}', "model expects 3"),
+    ])
+    def test_predict_rejects_bad_requests(self, app, body, fragment):
+        status, payload = app.handle("POST", "/predict", body)
+        assert status == 400
+        assert fragment in payload["error"]
+
+    def test_oversized_batch_is_rejected(self, app, monkeypatch):
+        monkeypatch.setattr(app_module, "MAX_BATCH_POINTS", 10)
+        status, payload = predict(app, {"points": [[0.5] * DIM] * 11})
+        assert status == 400
+        assert "exceeds the 10-point limit" in payload["error"]
+
+    def test_unknown_path_and_wrong_method(self, app):
+        assert app.handle("GET", "/nope")[0] == 404
+        assert app.handle("GET", "/predict")[0] == 405
+        assert app.handle("POST", "/models")[0] == 405
+        assert app.handle("GET", "/models?verbose=1")[0] == 200
+
+    def test_uncalibrated_model_conflicts_on_provenance(self, tmp_path):
+        app = make_app(tmp_path, calibrate=False)
+        status, payload = predict(app, {"points": [[0.5, 0.5, 0.5]]})
+        assert status == 409
+        assert "not calibrated" in payload["error"]
+        status, payload = predict(
+            app, {"points": [[0.5, 0.5, 0.5]], "provenance": False})
+        assert status == 200
+
+    def test_version_reports_provenance(self, app):
+        status, payload = app.handle("GET", "/version")
+        assert status == 200
+        assert payload["numpy"] == np.__version__
+        assert payload["models"]["mcf"]["family"] == "rbf"
+
+    def test_handler_errors_become_structured_500s(self, app, monkeypatch):
+        monkeypatch.setattr(
+            app, "_models",
+            lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        status, payload = app.handle("GET", "/models")
+        assert status == 500
+        assert "boom" in payload["error"]
+        assert int(app.metrics.counters["request_errors"]) == 1
+
+
+class TestHealthz:
+    def test_verified_models_report_ok(self, app):
+        status, payload = app.handle("GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert [m["verified"] for m in payload["models"]] == [True]
+
+    def test_in_memory_tampering_degrades_the_service(self, app):
+        # Flip one weight of the loaded model: the content hash no longer
+        # matches the registry entry, and /healthz must refuse to claim
+        # health rather than quietly serve wrong numbers.
+        app.services[0].model.weights[0] += 1.0
+        status, payload = app.handle("GET", "/healthz")
+        assert status == 503
+        assert payload["status"] == "degraded"
+        assert [m["verified"] for m in payload["models"]] == [False]
+
+    def test_no_models_loaded_is_degraded(self, tmp_path):
+        registry = reg.ModelRegistry(tmp_path / "empty")
+        app = ServingApp(registry)
+        status, payload = app.handle("GET", "/healthz")
+        assert status == 503
+        assert payload["models"] == []
+
+
+def scripted_clock(latencies):
+    """An ``obs.monotonic`` stand-in: request i takes ``latencies[i]``.
+
+    ``ServingApp.handle`` reads the clock exactly twice per request when
+    tracing is off (start and end), so the script yields a pair per
+    request with a 1s gap between requests.
+    """
+    times = []
+    t = 0.0
+    for latency in latencies:
+        times.extend([t, t + latency])
+        t += latency + 1.0
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestMetricsAndLedger:
+    LATENCIES = [i / 100.0 for i in range(1, 11)]  # 10ms .. 100ms
+
+    def pinned_app(self, tmp_path, monkeypatch, extra_requests=1):
+        app = make_app(tmp_path)
+        clock = scripted_clock(self.LATENCIES + [0.001] * extra_requests)
+        monkeypatch.setattr(obs, "monotonic", clock)
+        for _ in self.LATENCIES:
+            status, _ = predict(app, {"points": [[0.5, 0.5, 0.5]]})
+            assert status == 200
+        return app
+
+    def test_metrics_latency_quantiles_are_pinned(self, tmp_path, monkeypatch):
+        app = self.pinned_app(tmp_path, monkeypatch)
+        status, payload = app.handle("GET", "/metrics")
+        assert status == 200
+        # The snapshot is taken before the /metrics request's own latency
+        # is recorded, so the quantiles cover exactly the 10 predicts.
+        latency = payload["latency"]["serve/latency_s"]
+        assert latency["count"] == 10
+        assert latency["p50"] == pytest.approx(0.050)
+        assert latency["p90"] == pytest.approx(0.090)
+        assert latency["p99"] == pytest.approx(0.100)
+        assert payload["counters"]["requests_total"] == 10.0
+        assert payload["counters"]["points_predicted"] == 10.0
+        assert payload["gauges"]["models_loaded"] == 1.0
+
+    def test_session_ledger_record_is_pinned(self, tmp_path, monkeypatch):
+        app = self.pinned_app(tmp_path, monkeypatch)
+        base = obs.build_manifest("serve", extra={"registry": "r"})
+        manifest = obs.snapshot_manifest(
+            base, metrics=app.metrics.snapshot(), wall_time_s=12.5,
+            extra=app.session_fields())
+        record = record_from_manifest(manifest, trace_path="trace.jsonl")
+        assert record["command"] == "serve"
+        assert record["requests_served"] == 10
+        assert record["request_errors"] == 0
+        # session_fields quantiles cover the 10 scripted latencies.
+        assert record["latency_p50_ms"] == 50.0
+        assert record["latency_p90_ms"] == 90.0
+        assert record["latency_p99_ms"] == 100.0
+        assert record["wall_time_s"] == 12.5
+        assert record["trace_path"] == "trace.jsonl"
+
+    def test_empty_session_has_null_quantiles(self, app):
+        fields = app.session_fields()
+        assert fields["requests_served"] == 0
+        assert fields["latency_p50_ms"] is None
+
+
+class TestRequestTracing:
+    def test_spans_stream_per_request(self, app, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = StreamingTraceSink(path, header={"command": "serve"})
+        collector = LiveCollector(sink)
+        obs.activate(collector)
+        try:
+            predict(app, {"points": [[0.5, 0.5, 0.5]] * 3})
+            app.handle("GET", "/healthz")
+        finally:
+            obs.deactivate(collector)
+            sink.close()
+        data = obs.read_trace(path)
+        assert [r.name for r in data.roots] == ["serve/request"] * 2
+        assert data.roots[0].attrs["request"] == "req-000001"
+        assert data.roots[0].attrs["path"] == "/predict"
+        (child,) = data.roots[0].children
+        assert child.name == "serve/predict"
+        assert child.attrs["points"] == 3
+        assert data.roots[1].children == []  # healthz has no predict span
+        assert collector.roots == []  # streamed and dropped
+
+    def test_tracing_off_serving_is_bitwise_unperturbed(self, tmp_path):
+        points = np.random.default_rng(5).random((40, DIM)).tolist()
+        app_off = make_app(tmp_path / "off")
+        _, untraced = predict(app_off, {"points": points})
+        app_on = make_app(tmp_path / "on")
+        with obs.collecting():
+            _, traced = predict(app_on, {"points": points})
+        for key in ("values", "lower", "upper", "extrapolated"):
+            assert untraced[key] == traced[key]
+
+
+class TestHTTPServer:
+    @staticmethod
+    async def _request(host, port, method, path, body=b""):
+        reader, writer = await asyncio.open_connection(host, port)
+        head = (f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n")
+        writer.write(head.encode() + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=10)
+        writer.close()
+        status = int(raw.split(b" ", 2)[1])
+        return status, json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+    def test_real_socket_roundtrip_with_budget_shutdown(self, tmp_path):
+        app = make_app(tmp_path, max_requests=3)
+
+        async def scenario():
+            ready = asyncio.get_running_loop().create_future()
+            server = asyncio.ensure_future(
+                run_server(app, "127.0.0.1", 0, ready))
+            host, port = await asyncio.wait_for(ready, timeout=10)
+            health = await self._request(host, port, "GET", "/healthz")
+            body = json.dumps({"points": [[0.5, 0.5, 0.5]] * 4}).encode()
+            pred = await self._request(host, port, "POST", "/predict", body)
+            metrics = await self._request(host, port, "GET", "/metrics")
+            # Budget spent: the server coroutine finishes on its own —
+            # the deterministic shutdown the CI smoke job waits on.
+            await asyncio.wait_for(server, timeout=10)
+            return health, pred, metrics
+
+        health, pred, metrics = asyncio.run(scenario())
+        assert health[0] == 200 and health[1]["status"] == "ok"
+        assert pred[0] == 200 and pred[1]["count"] == 4
+        assert metrics[0] == 200
+        assert metrics[1]["counters"]["points_predicted"] == 4.0
+        assert app.done and app.requests_served == 3
+
+    def test_malformed_requests_get_400_without_spending_budget(
+            self, tmp_path):
+        app = make_app(tmp_path, max_requests=1)
+
+        async def scenario():
+            ready = asyncio.get_running_loop().create_future()
+            server = asyncio.ensure_future(
+                run_server(app, "127.0.0.1", 0, ready))
+            host, port = await asyncio.wait_for(ready, timeout=10)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GARBAGE\r\n\r\n")  # no target: malformed line
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            garbage_status = int(raw.split(b" ", 2)[1])
+            # The malformed request never reached the app, so the budget
+            # is untouched and one real request still gets served.
+            health = await self._request(host, port, "GET", "/healthz")
+            await asyncio.wait_for(server, timeout=10)
+            return garbage_status, health
+
+        garbage_status, health = asyncio.run(scenario())
+        assert garbage_status == 400
+        assert health[0] == 200
+        assert app.requests_served == 1
+
+
+class TestAccessLogIntegration:
+    def test_one_record_per_request(self, tmp_path):
+        from repro.obs.live import AccessLog
+        log_path = tmp_path / "access.jsonl"
+        app = make_app(tmp_path, access_log=AccessLog(log_path))
+        predict(app, {"points": [[0.5, 0.5, 0.5]] * 7})
+        app.handle("GET", "/nope")
+        app.access_log.close()
+        records = [json.loads(l) for l in log_path.read_text().splitlines()]
+        assert [(r["path"], r["status"], r["points"]) for r in records] == \
+            [("/predict", 200, 7), ("/nope", 404, 0)]
+        assert records[0]["request"] == "req-000001"
+        assert records[0]["latency_s"] >= 0.0
+
+
+def test_model_service_describe_shape(tmp_path):
+    app = make_app(tmp_path)
+    service = app.services[0]
+    assert isinstance(service, ModelService)
+    record = service.describe()
+    assert record["sha"] == service.entry.sha
+    assert record["calibrated"] and record["dimension"] == DIM
